@@ -1,0 +1,67 @@
+"""Ablation: DAG sharing of subplans vs tree expansion.
+
+The paper argues dynamic plans must be represented "as directed
+acyclic graphs (DAGs) with common subexpressions, not as trees" —
+otherwise both the access-module size and the start-up cost
+evaluation grow with the exponential number of plan combinations.
+This bench quantifies the saving on the five paper queries, and shows
+start-up cost-evaluation counts stay bounded by the DAG size.
+"""
+
+from conftest import write_and_print
+
+from repro.executor import resolve_dynamic_plan
+from repro.optimizer import optimize_dynamic
+from repro.workloads import paper_workload, random_bindings
+
+
+def test_ablation_dag_sharing(benchmark, results_dir):
+    lines = [
+        "=" * 72,
+        "ABLATION — DAG sharing vs tree expansion",
+        "paper: sharing keeps plan size and start-up effort polynomial",
+        "-" * 72,
+        "%8s  %10s  %14s  %8s  %14s"
+        % ("query", "DAG nodes", "tree nodes", "ratio", "cost evals"),
+    ]
+    assertions = []
+    for query_number in (1, 2, 3, 4, 5):
+        workload = paper_workload(query_number)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        bindings = random_bindings(workload, seed=1)
+        _, report = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        dag_nodes = dynamic.plan.node_count()
+        tree_nodes = dynamic.plan.tree_node_count()
+        lines.append(
+            "%8s  %10d  %14d  %8.1f  %14d"
+            % (
+                workload.name,
+                dag_nodes,
+                tree_nodes,
+                tree_nodes / dag_nodes,
+                report.cost_evaluations,
+            )
+        )
+        assertions.append((query_number, dag_nodes, tree_nodes,
+                           report.cost_evaluations))
+    write_and_print(results_dir, "ablation_dag", "\n".join(lines))
+
+    workload = paper_workload(4)
+    dynamic = optimize_dynamic(workload.catalog, workload.query)
+    bindings = random_bindings(workload, seed=1)
+    benchmark(
+        lambda: resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+    )
+
+    for query_number, dag_nodes, tree_nodes, evaluations in assertions:
+        # Start-up evaluations bounded by DAG size, never tree size.
+        assert evaluations <= dag_nodes
+        if query_number >= 3:
+            # Sharing saves orders of magnitude on complex queries.
+            assert tree_nodes > 10 * dag_nodes

@@ -1,0 +1,84 @@
+"""Ablation: interval branch-and-bound pruning on vs off.
+
+The paper stresses that (a) branch-and-bound is *not* a heuristic —
+disabling it must not change the produced plan — and (b) interval
+costs weaken it, since only lower bounds may be subtracted.  This
+bench quantifies both: identical plans, differing candidate counts
+and optimization times, and the static-vs-dynamic pruning gap.
+"""
+
+from conftest import write_and_print
+
+from repro.optimizer import OptimizerConfig, optimize_dynamic, optimize_static
+from repro.workloads import paper_workload
+
+
+def test_ablation_branch_and_bound(benchmark, results_dir):
+    workload = paper_workload(4)
+
+    with_bnb = optimize_dynamic(
+        workload.catalog, workload.query,
+        OptimizerConfig.dynamic(branch_and_bound=True),
+    )
+    without_bnb = optimize_dynamic(
+        workload.catalog, workload.query,
+        OptimizerConfig.dynamic(branch_and_bound=False),
+    )
+    static_with = optimize_static(
+        workload.catalog, workload.query,
+        OptimizerConfig.static(branch_and_bound=True),
+    )
+    static_without = optimize_static(
+        workload.catalog, workload.query,
+        OptimizerConfig.static(branch_and_bound=False),
+    )
+
+    benchmark(
+        lambda: optimize_dynamic(
+            workload.catalog, workload.query,
+            OptimizerConfig.dynamic(branch_and_bound=True),
+        )
+    )
+
+    # Not a heuristic: identical plans either way.
+    assert with_bnb.plan.signature() == without_bnb.plan.signature()
+    assert static_with.plan.signature() == static_without.plan.signature()
+
+    rows = [
+        ("dynamic + b&b", with_bnb),
+        ("dynamic, no b&b", without_bnb),
+        ("static + b&b", static_with),
+        ("static, no b&b", static_without),
+    ]
+    lines = [
+        "=" * 72,
+        "ABLATION — branch-and-bound pruning (query 4)",
+        "paper: interval pruning may subtract only lower bounds, so it "
+        "is much weaker than traditional point pruning",
+        "-" * 72,
+        "%18s  %10s  %12s  %12s  %10s"
+        % ("configuration", "candidates", "bound-pruned", "dom-pruned",
+           "time [s]"),
+    ]
+    for name, result in rows:
+        stats = result.statistics
+        lines.append(
+            "%18s  %10d  %12d  %12d  %10.4f"
+            % (
+                name,
+                stats.candidates_considered,
+                stats.pruned_by_bound,
+                stats.pruned_by_dominance,
+                stats.optimization_seconds,
+            )
+        )
+    write_and_print(results_dir, "ablation_pruning", "\n".join(lines))
+
+    # Weakened pruning: the static optimizer prunes a larger fraction.
+    static_fraction = static_with.statistics.pruned_by_bound / max(
+        static_with.statistics.candidates_considered, 1
+    )
+    dynamic_fraction = with_bnb.statistics.pruned_by_bound / max(
+        with_bnb.statistics.candidates_considered, 1
+    )
+    assert static_fraction >= dynamic_fraction

@@ -1,0 +1,52 @@
+"""Break-even analysis (Section 6, experiments BE1 and BE2).
+
+Regenerates both break-even tables: dynamic vs static (paper:
+consistently N = 1) and dynamic vs run-time optimization (paper:
+N between 2 and 4).
+"""
+
+from conftest import write_and_print
+
+from repro.scenarios import (
+    breakeven_runtime_vs_dynamic,
+    breakeven_static_vs_dynamic,
+)
+
+
+def test_breakeven_points(benchmark, context, results_dir):
+    bundle = context.bundle(3, False)
+    benchmark(
+        lambda: breakeven_static_vs_dynamic(bundle.static, bundle.dynamic)
+    )
+
+    lines = [
+        "=" * 72,
+        "BREAK-EVEN POINTS (Section 6)",
+        "paper: N=1 vs static plans; N in [2,4] vs run-time optimization",
+        "-" * 72,
+        "%10s  %6s  %22s  %24s"
+        % ("query", "#unc", "vs static (paper: 1)", "vs run-time opt (2-4)"),
+    ]
+    checks = []
+    for query_number in context.settings.query_numbers:
+        bundle = context.bundle(query_number, False)
+        vs_static = breakeven_static_vs_dynamic(bundle.static, bundle.dynamic)
+        vs_runtime = breakeven_runtime_vs_dynamic(
+            bundle.runtime, bundle.dynamic
+        )
+        lines.append(
+            "%10s  %6d  %22s  %24s"
+            % (
+                bundle.workload.name,
+                bundle.uncertain_variables,
+                vs_static,
+                vs_runtime,
+            )
+        )
+        checks.append((query_number, vs_static, vs_runtime))
+    write_and_print(results_dir, "breakeven", "\n".join(lines))
+
+    for query_number, vs_static, vs_runtime in checks:
+        assert vs_static == 1, "query %d" % query_number
+        if query_number >= 3:
+            assert vs_runtime is not None and vs_runtime <= 20

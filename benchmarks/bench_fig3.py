@@ -1,0 +1,40 @@
+"""Figure 3: the three optimization scenarios.
+
+Regenerates the total-effort comparison (static, run-time
+optimization, dynamic plans) and benchmarks one full dynamic-plan
+invocation (activate + choose) — the per-invocation unit of the
+dynamic timeline.
+"""
+
+from conftest import write_and_print
+
+from repro.executor import resolve_dynamic_plan
+from repro.experiments.figures import figure3_scenarios
+from repro.experiments.report import render_figure
+from repro.workloads import random_bindings
+
+
+def test_figure3_scenarios(benchmark, context, results_dir):
+    bundle = context.bundle(3, False)
+    bindings = random_bindings(bundle.workload, seed=99)
+
+    def one_dynamic_invocation():
+        return resolve_dynamic_plan(
+            bundle.dynamic_scenario.plan,
+            bundle.workload.catalog,
+            bundle.workload.query.parameter_space,
+            bindings,
+        )
+
+    chosen, report = benchmark(one_dynamic_invocation)
+    assert chosen.choose_plan_count() == 0
+
+    figure = figure3_scenarios(context, query_number=3)
+    write_and_print(results_dir, "figure3", render_figure(figure))
+
+    static_total = figure.value_for("static", "query3")
+    runtime_total = figure.value_for("run-time optimization", "query3")
+    dynamic_total = figure.value_for("dynamic plans", "query3")
+    # The paper's inequalities over the invocation series:
+    assert dynamic_total < static_total
+    assert dynamic_total < runtime_total

@@ -1,0 +1,51 @@
+"""Figure 4: execution times of static and dynamic plans.
+
+Regenerates the four curves (static/dynamic x selectivities/memory)
+over the five paper queries and asserts the paper's shape: dynamic
+wins everywhere, and the gap grows with the number of uncertain
+variables (paper: factor ~5 at query 1 up to ~24 at query 5).
+"""
+
+from conftest import write_and_print
+
+from repro.experiments.figures import (
+    SERIES_SEL,
+    SERIES_SEL_MEM,
+    figure4_execution_times,
+)
+from repro.experiments.report import render_figure
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import random_bindings
+
+
+def test_figure4_execution_times(benchmark, context, results_dir):
+    # Benchmark the unit the figure averages: one predicted execution
+    # of a resolved plan under fresh bindings.
+    bundle = context.bundle(3, False)
+    bindings = random_bindings(bundle.workload, seed=42)
+    static_plan = bundle.static_scenario.plan
+
+    benchmark(
+        lambda: predicted_execution_seconds(
+            static_plan,
+            bundle.workload.catalog,
+            bundle.workload.query.parameter_space,
+            bindings,
+        )
+    )
+
+    figure = figure4_execution_times(context)
+    write_and_print(results_dir, "figure4", render_figure(figure))
+
+    for series in (SERIES_SEL, SERIES_SEL_MEM):
+        dynamic_points = figure.points("dynamic, %s" % series)
+        for point in dynamic_points:
+            static_value = figure.value_for(
+                "static, %s" % series, point["query"]
+            )
+            assert point["value"] < static_value, point
+        ratios = [point["ratio"] for point in dynamic_points]
+        # Gap grows: the most complex query's advantage dwarfs the
+        # simplest query's (paper: 5x -> 24x).
+        assert ratios[-1] > ratios[0]
+        assert ratios[-1] > 10.0

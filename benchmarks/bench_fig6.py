@@ -1,0 +1,51 @@
+"""Figure 6: plan sizes for static and dynamic plans.
+
+Regenerates the node counts of all ten plans (5 queries x 2 memory
+settings) and asserts the paper's shape: dynamic plans are orders of
+magnitude larger than static plans (paper: 21 vs 14,090 for query 5),
+and making memory uncertain barely increases plan size.
+"""
+
+from conftest import write_and_print
+
+from repro.executor import AccessModule
+from repro.experiments.figures import (
+    SERIES_SEL,
+    SERIES_SEL_MEM,
+    figure6_plan_sizes,
+)
+from repro.experiments.report import render_figure
+from repro.optimizer import optimize_dynamic
+from repro.workloads import paper_workload
+
+
+def test_figure6_plan_sizes(benchmark, context, results_dir):
+    # Benchmark plan serialization — the operation whose cost the plan
+    # size drives at start-up time.
+    workload = paper_workload(4)
+    dynamic = optimize_dynamic(workload.catalog, workload.query)
+    module = benchmark(
+        lambda: AccessModule.from_plan(dynamic.plan, workload.name)
+    )
+    assert module.node_count == dynamic.plan.node_count()
+
+    figure = figure6_plan_sizes(context)
+    write_and_print(results_dir, "figure6", render_figure(figure))
+
+    static_sizes = [
+        p["value"] for p in figure.points("static, %s" % SERIES_SEL)
+    ]
+    dynamic_sizes = [
+        p["value"] for p in figure.points("dynamic, %s" % SERIES_SEL)
+    ]
+    dynamic_mem_sizes = [
+        p["value"] for p in figure.points("dynamic, %s" % SERIES_SEL_MEM)
+    ]
+    # Dynamic plans dwarf static plans, increasingly with complexity.
+    for static_size, dynamic_size in zip(static_sizes, dynamic_sizes):
+        assert dynamic_size > static_size
+    assert dynamic_sizes[-1] > 50 * static_sizes[-1]
+    # Memory uncertainty barely moves plan size (paper's observation
+    # that the number of potentially optimal plans is limited).
+    for plain, with_memory in zip(dynamic_sizes, dynamic_mem_sizes):
+        assert with_memory <= plain * 1.5

@@ -1,0 +1,42 @@
+"""Figure 7: start-up times for dynamic plans (CPU only).
+
+Benchmarks the choose-plan decision pass — re-evaluating the cost
+functions of query 5's dynamic plan under instantiated bindings, with
+DAG-shared subplans costed once — and regenerates the start-up-time
+curves, asserting they parallel plan size.
+"""
+
+from conftest import write_and_print
+
+from repro.executor import resolve_dynamic_plan
+from repro.experiments.figures import SERIES_SEL, figure7_startup_times
+from repro.experiments.report import render_figure
+from repro.optimizer import optimize_dynamic
+from repro.workloads import paper_workload, random_bindings
+
+
+def test_figure7_startup_times(benchmark, context, results_dir):
+    workload = paper_workload(5)
+    dynamic = optimize_dynamic(workload.catalog, workload.query)
+    bindings = random_bindings(workload, seed=123)
+
+    chosen, report = benchmark(
+        lambda: resolve_dynamic_plan(
+            dynamic.plan,
+            workload.catalog,
+            workload.query.parameter_space,
+            bindings,
+        )
+    )
+    assert chosen.choose_plan_count() == 0
+    # Sharing: cost evaluations bounded by the DAG's node count even
+    # though the number of plan combinations is exponential.
+    assert report.cost_evaluations <= dynamic.plan.node_count()
+
+    figure = figure7_startup_times(context)
+    write_and_print(results_dir, "figure7", render_figure(figure))
+
+    startups = [p["value"] for p in figure.points("dynamic, %s" % SERIES_SEL)]
+    assert startups[-1] > startups[0]
+    for point in figure.points("dynamic, %s" % SERIES_SEL):
+        assert point["decisions"] >= 1

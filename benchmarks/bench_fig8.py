@@ -1,0 +1,42 @@
+"""Figure 8: run-time optimization versus dynamic plans.
+
+Benchmarks the per-invocation unit of the run-time-optimization
+scenario (a full optimization with bound parameters) and regenerates
+the per-invocation effort comparison plus the Section 6 break-even
+points (paper: N between 2 and 4 against run-time optimization,
+N = 1 against static plans).
+"""
+
+from conftest import write_and_print
+
+from repro.experiments.figures import SERIES_SEL, figure8_runtime_vs_dynamic
+from repro.experiments.report import render_figure
+from repro.optimizer import optimize_runtime
+from repro.workloads import paper_workload, random_bindings
+
+
+def test_figure8_runtime_vs_dynamic(benchmark, context, results_dir):
+    workload = paper_workload(3)
+    bindings = random_bindings(workload, seed=17)
+    result = benchmark(
+        lambda: optimize_runtime(workload.catalog, workload.query, bindings)
+    )
+    assert result.plan.choose_plan_count() == 0
+
+    figure = figure8_runtime_vs_dynamic(context)
+    write_and_print(results_dir, "figure8", render_figure(figure))
+
+    # Shape: dynamic plans cheaper per invocation for complex queries.
+    for query in ("query3", "query4", "query5"):
+        runtime_effort = figure.value_for(
+            "run-time optimization, %s" % SERIES_SEL, query
+        )
+        dynamic_effort = figure.value_for("dynamic, %s" % SERIES_SEL, query)
+        assert dynamic_effort < runtime_effort, query
+
+    # Break-evens: small N against run-time optimization, N=1 vs static.
+    for point in figure.points("dynamic, %s" % SERIES_SEL):
+        if point["query"] in ("query3", "query4", "query5"):
+            assert point["breakeven_vs_runtime"] is not None
+            assert 1 <= point["breakeven_vs_runtime"] <= 20
+            assert point["breakeven_vs_static"] == 1

@@ -1,0 +1,34 @@
+"""Table 1 and core optimizer micro-benchmarks.
+
+Times one static and one dynamic optimization of paper query 3 (the
+four-way join) and prints the Table 1 algebra inventory that every
+other bench exercises.
+"""
+
+from conftest import write_and_print
+
+from repro.experiments.figures import table1_algebra
+from repro.experiments.report import render_table1
+from repro.optimizer import optimize_dynamic, optimize_static
+from repro.workloads import paper_workload
+
+
+def test_table1_algebra_inventory(benchmark, results_dir):
+    table = benchmark(table1_algebra)
+    write_and_print(results_dir, "table1", render_table1(table))
+
+
+def test_bench_static_optimization(benchmark):
+    workload = paper_workload(3)
+    result = benchmark(
+        lambda: optimize_static(workload.catalog, workload.query)
+    )
+    assert result.plan.choose_plan_count() == 0
+
+
+def test_bench_dynamic_optimization(benchmark):
+    workload = paper_workload(3)
+    result = benchmark(
+        lambda: optimize_dynamic(workload.catalog, workload.query)
+    )
+    assert result.plan.choose_plan_count() >= 1

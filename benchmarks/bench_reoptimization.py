@@ -1,0 +1,54 @@
+"""Extension bench: conditional re-optimization (the [CAK81]/[CAB93]
+scenario the paper criticizes in Section 2).
+
+Shows the criticism quantitatively: to stay near-optimal under
+alternating run-time situations the scheme must re-optimize on almost
+every invocation, while a dynamic plan pays a single compile-time
+optimization and cheap start-up decisions.
+"""
+
+from conftest import write_and_print
+
+from repro.scenarios import ConditionalReoptimizationScenario
+from repro.workloads import binding_series, paper_workload
+
+
+def test_conditional_reoptimization(benchmark, context, results_dir):
+    workload = paper_workload(3)
+    series = binding_series(workload, count=20, seed=61)
+    bundle = context.bundle(3, False)
+
+    scenario = ConditionalReoptimizationScenario(
+        workload, tolerance=0.2, cpu_scale=context.settings.cpu_scale
+    )
+    result = scenario.run_series(series)
+
+    benchmark(
+        lambda: ConditionalReoptimizationScenario(
+            workload, tolerance=0.2, cpu_scale=context.settings.cpu_scale
+        ).invoke(series[0])
+    )
+
+    lines = [
+        "=" * 72,
+        "EXTENSION — conditional re-optimization (query 3, tolerance 0.2)",
+        "paper: such systems 'perform many more re-optimizations than "
+        "truly necessary'",
+        "-" * 72,
+        "invocations            : %d" % result.invocation_count,
+        "re-optimizations       : %d" % result.extra["reoptimizations"],
+        "avg execution [s]      : %.4f" % result.average_execution_seconds,
+        "avg run-time effort [s]: %.4f" % result.average_run_time_effort,
+        "dynamic-plan effort [s]: %.4f"
+        % bundle.dynamic.average_run_time_effort,
+    ]
+    write_and_print(results_dir, "reoptimization", "\n".join(lines))
+
+    # The paper's point: under uniformly random bindings the scheme
+    # re-optimizes on most invocations...
+    assert result.extra["reoptimizations"] > result.invocation_count // 2
+    # ...so dynamic plans beat it on total run-time effort.
+    assert (
+        bundle.dynamic.average_run_time_effort
+        < result.average_run_time_effort
+    )

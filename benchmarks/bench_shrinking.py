@@ -1,0 +1,72 @@
+"""Extension bench: the Section 4 plan-shrinking heuristic.
+
+Measures how the self-replacing access module trades size (and hence
+activation I/O) against robustness: module size before and after
+shrinking, and the regret suffered when a removed alternative would
+have been optimal for a later binding.
+"""
+
+from conftest import write_and_print
+
+from repro.executor import ShrinkingAccessModule, resolve_dynamic_plan
+from repro.optimizer import optimize_dynamic
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import binding_series, paper_workload
+
+
+def test_plan_shrinking_tradeoff(benchmark, results_dir):
+    workload = paper_workload(3)
+    dynamic = optimize_dynamic(workload.catalog, workload.query)
+    training = binding_series(workload, count=10, seed=51)
+    evaluation = binding_series(workload, count=15, seed=52)
+
+    module = ShrinkingAccessModule(
+        dynamic.plan, workload.catalog,
+        workload.query.parameter_space, shrink_after=10,
+    )
+    nodes_before = module.node_count
+    for bindings in training:
+        module.activate(bindings)
+    nodes_after = module.node_count
+
+    regret_total = 0.0
+    optimal_total = 0.0
+    for bindings in evaluation:
+        chosen, _ = module.activate(bindings)
+        shrunk_cost = predicted_execution_seconds(
+            chosen, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        optimal_chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        optimal_cost = predicted_execution_seconds(
+            optimal_chosen, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        regret_total += shrunk_cost - optimal_cost
+        optimal_total += optimal_cost
+
+    lines = [
+        "=" * 72,
+        "EXTENSION — plan shrinking (Section 4 heuristic, query 3)",
+        "paper: shrinking trades module size against future robustness",
+        "-" * 72,
+        "nodes before shrinking : %d" % nodes_before,
+        "nodes after shrinking  : %d" % nodes_after,
+        "size reduction         : %.0f%%"
+        % (100.0 * (1 - nodes_after / nodes_before)),
+        "avg optimal exec [s]   : %.4f" % (optimal_total / len(evaluation)),
+        "avg regret [s]         : %.4f" % (regret_total / len(evaluation)),
+    ]
+    write_and_print(results_dir, "shrinking", "\n".join(lines))
+
+    assert nodes_after < nodes_before
+    assert regret_total >= 0.0
+
+    fresh = ShrinkingAccessModule(
+        dynamic.plan, workload.catalog,
+        workload.query.parameter_space, shrink_after=1_000_000,
+    )
+    benchmark(lambda: fresh.activate(training[0]))

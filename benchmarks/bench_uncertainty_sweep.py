@@ -1,0 +1,74 @@
+"""Extension experiment: isolating the number of uncertain variables.
+
+Figures 4-8 vary query size and uncertainty together (bigger queries
+have more unbound predicates).  This sweep holds the query fixed — the
+six-way join of query 4 — and varies how many of its six selection
+predicates are unbound (0..6), isolating the effect the paper's x-axis
+conflates: how plan size, optimization time, and the static-plan
+penalty scale with uncertainty *alone*.
+"""
+
+from conftest import write_and_print
+
+from repro.optimizer import optimize_dynamic, optimize_static
+from repro.scenarios import DynamicPlanScenario, StaticPlanScenario
+from repro.workloads import binding_series, make_join_workload
+
+
+def test_uncertainty_sweep(benchmark, results_dir):
+    relation_count = 6
+    rows = []
+    for uncertain in range(relation_count + 1):
+        workload = make_join_workload(
+            relation_count,
+            uncertain_selections=uncertain,
+            name="6-way-u%d" % uncertain,
+        )
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        static = optimize_static(workload.catalog, workload.query)
+        series = binding_series(workload, count=12, seed=71)
+        static_result = StaticPlanScenario(workload).run_series(series)
+        dynamic_result = DynamicPlanScenario(workload).run_series(series)
+        ratio = static_result.average_execution_seconds / max(
+            dynamic_result.average_execution_seconds, 1e-12
+        )
+        rows.append(
+            (
+                uncertain,
+                static.node_count(),
+                dynamic.node_count(),
+                dynamic.choose_plan_count(),
+                dynamic.statistics.optimization_seconds,
+                ratio,
+            )
+        )
+
+    lines = [
+        "=" * 72,
+        "EXTENSION — uncertainty sweep (6-way join, 0..6 unbound "
+        "predicates)",
+        "isolates the paper's x-axis: uncertainty alone, query shape "
+        "fixed",
+        "-" * 72,
+        "%6s  %12s  %13s  %8s  %12s  %12s"
+        % ("#unc", "static nodes", "dynamic nodes", "chooses",
+           "opt time [s]", "exec ratio"),
+    ]
+    for uncertain, s_nodes, d_nodes, chooses, seconds, ratio in rows:
+        lines.append(
+            "%6d  %12d  %13d  %8d  %12.4f  %12.1f"
+            % (uncertain, s_nodes, d_nodes, chooses, seconds, ratio)
+        )
+    write_and_print(results_dir, "uncertainty_sweep", "\n".join(lines))
+
+    node_counts = [row[2] for row in rows]
+    ratios = [row[5] for row in rows]
+    # With no uncertainty the dynamic plan degenerates to (nearly) the
+    # static plan and the ratio is 1; both grow with uncertainty.
+    assert node_counts[0] <= node_counts[-1]
+    assert node_counts == sorted(node_counts)
+    assert abs(ratios[0] - 1.0) < 0.05
+    assert ratios[-1] > 2.0
+
+    workload = make_join_workload(relation_count, uncertain_selections=3)
+    benchmark(lambda: optimize_dynamic(workload.catalog, workload.query))

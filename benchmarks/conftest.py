@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Each bench module regenerates one of the paper's tables or figures and
+writes the rendered rows to ``benchmarks/results/``.  The shared
+experiment context (all scenarios for all five paper queries, with and
+without memory uncertainty) is computed once per session.
+
+Set ``REPRO_BENCH_N`` to change the invocation count (default 30; the
+paper uses 100 — see EXPERIMENTS.md for a full-N run's numbers).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import ExperimentContext
+from repro.experiments.results import ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_invocations():
+    """Invocation count used by the benchmark harness."""
+    return int(os.environ.get("REPRO_BENCH_N", "30"))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Experiment settings shared by all figure benches."""
+    return ExperimentSettings(invocations=bench_invocations())
+
+
+@pytest.fixture(scope="session")
+def context(settings):
+    """Shared scenario results for all five paper queries."""
+    return ExperimentContext(settings)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the rendered figure outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_and_print(results_dir, name, text):
+    """Persist a rendered figure and echo it to stdout."""
+    path = results_dir / ("%s.txt" % name)
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

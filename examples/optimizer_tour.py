@@ -1,0 +1,78 @@
+"""A tour of the optimizer's internals.
+
+Walks through what the Volcano-style engine does for the paper's
+four-way join: rule exploration (memo groups, m-exprs, logical
+alternatives), physical optimization with interval costs, dominance
+pruning statistics, the exhaustive-plan mode, and the serialized
+access module.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro import (
+    AccessModule,
+    optimize_dynamic,
+    optimize_exhaustive,
+    optimize_static,
+    paper_workload,
+)
+
+
+def show(title, value):
+    print("%-46s %s" % (title + ":", value))
+
+
+def main():
+    workload = paper_workload(3)
+    catalog, query = workload.catalog, workload.query
+    print("query: 4-way chain join, one unbound selection per relation")
+    print()
+
+    print("=== exploration (transformation rules) ===")
+    dynamic = optimize_dynamic(catalog, query)
+    stats = dynamic.statistics
+    show("memo groups", stats.groups_created)
+    show("logical m-exprs", stats.mexprs_total)
+    show("rule applications", stats.rule_applications)
+    show("distinct bushy join trees encoded", dynamic.logical_alternatives())
+    print()
+
+    print("=== physical optimization (interval costs) ===")
+    show("candidate plans costed", stats.candidates_considered)
+    show("pruned by branch-and-bound", stats.pruned_by_bound)
+    show("pruned by interval dominance", stats.pruned_by_dominance)
+    show("cost-function evaluations", stats.cost_evaluations)
+    show("compile-time cost interval", dynamic.cost)
+    print()
+
+    print("=== the three plan flavours ===")
+    static = optimize_static(catalog, query)
+    exhaustive = optimize_exhaustive(catalog, query)
+    show("static plan nodes", static.node_count())
+    show(
+        "dynamic plan nodes / choose-plans",
+        "%d / %d" % (dynamic.node_count(), dynamic.choose_plan_count()),
+    )
+    show(
+        "exhaustive plan nodes / choose-plans",
+        "%d / %d" % (exhaustive.node_count(), exhaustive.choose_plan_count()),
+    )
+    show(
+        "DAG sharing saves (tree/DAG node ratio)",
+        "%.1fx" % (dynamic.plan.tree_node_count() / dynamic.node_count()),
+    )
+    print()
+
+    print("=== access modules ===")
+    for name, result in (("static", static), ("dynamic", dynamic)):
+        module = AccessModule.from_plan(result.plan, name)
+        show(
+            "%s module" % name,
+            "%d nodes, %d bytes, %.2f ms read time"
+            % (module.node_count, module.byte_size,
+               module.read_seconds() * 1000),
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Plan shrinking: the self-replacing access module (Section 4).
+
+A dynamic plan carries every potentially optimal alternative, which
+costs module I/O at each start-up.  The paper proposes letting the
+access module record which alternatives are actually chosen and, after
+a number of invocations, replace itself with a module containing only
+those — a heuristic, because a discarded alternative may have been
+optimal for future bindings.
+
+This script drives an application whose bindings are *clustered* (low
+selectivities most of the time), shows the module shrinking, and then
+demonstrates the residual risk when an out-of-distribution binding
+arrives.
+
+Run:  python examples/plan_shrinking.py
+"""
+
+from repro import (
+    ShrinkingAccessModule,
+    optimize_dynamic,
+    paper_workload,
+)
+from repro.executor import resolve_dynamic_plan
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import random_bindings
+
+
+def main():
+    workload = paper_workload(2)
+    catalog, query = workload.catalog, workload.query
+    dynamic = optimize_dynamic(catalog, query)
+
+    module = ShrinkingAccessModule(
+        dynamic.plan,
+        catalog,
+        query.parameter_space,
+        query_name=workload.name,
+        shrink_after=8,
+    )
+    print(
+        "initial module: %d nodes (%.2f ms activation I/O)"
+        % (module.node_count, module.module.read_seconds() * 1000)
+    )
+
+    # Phase 1: a stable application — selectivities always small.
+    domains = {
+        relation: catalog.domain_size(relation, "a")
+        for relation in query.relations
+    }
+    for run in range(8):
+        bindings = random_bindings(workload, seed=200 + run)
+        for relation in query.relations:
+            selectivity = 0.01 + 0.002 * run
+            bindings.bind("sel_%s" % relation, selectivity)
+            bindings.bind_variable(
+                "v_%s" % relation, selectivity * domains[relation]
+            )
+        module.activate(bindings)
+    print(
+        "after 8 similar invocations and one shrink: %d nodes "
+        "(%.2f ms activation I/O), %d shrink(s)"
+        % (
+            module.node_count,
+            module.module.read_seconds() * 1000,
+            module.shrink_count,
+        )
+    )
+
+    # Phase 2: an out-of-distribution binding arrives.
+    surprise = random_bindings(workload, seed=999)
+    for relation in query.relations:
+        surprise.bind("sel_%s" % relation, 0.95)
+        surprise.bind_variable("v_%s" % relation, 0.95 * domains[relation])
+    chosen, _ = module.activate(surprise)
+    shrunk_cost = predicted_execution_seconds(
+        chosen, catalog, query.parameter_space, surprise
+    )
+    optimal_plan, _ = resolve_dynamic_plan(
+        dynamic.plan, catalog, query.parameter_space, surprise
+    )
+    optimal_cost = predicted_execution_seconds(
+        optimal_plan, catalog, query.parameter_space, surprise
+    )
+    print()
+    print("surprise binding (selectivity 0.95 everywhere):")
+    print("  shrunk module executes at %.3fs" % shrunk_cost)
+    print("  full dynamic plan would execute at %.3fs" % optimal_cost)
+    if shrunk_cost > optimal_cost * 1.01:
+        print(
+            "  -> the heuristic's risk, exactly as the paper warns: a "
+            "removed alternative was optimal here (%.1fx regret)"
+            % (shrunk_cost / optimal_cost)
+        )
+    else:
+        print("  -> no regret for this binding")
+
+
+if __name__ == "__main__":
+    main()

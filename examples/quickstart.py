@@ -1,0 +1,86 @@
+"""Quickstart: the paper's motivating example (Section 2, Figure 1).
+
+A single-relation query with an unbound predicate::
+
+    SELECT * FROM R1 WHERE R1.a < :v
+
+At compile time the selectivity of ``R1.a < :v`` is unknown, so the
+optimizer cannot decide between a file scan and an unclustered B-tree
+scan.  A *static* optimizer guesses (expected selectivity 0.05, which
+favours the index); a *dynamic* plan keeps both alternatives behind a
+choose-plan operator and decides at start-up time, when ``:v`` is
+bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Bindings,
+    Database,
+    execute_plan,
+    optimize_dynamic,
+    optimize_static,
+    paper_workload,
+    plan_to_text,
+    populate_database,
+    resolve_dynamic_plan,
+)
+from repro.scenarios import predicted_execution_seconds
+
+
+def main():
+    # The paper's query 1: one relation, one unbound selection.
+    workload = paper_workload(1)
+    catalog, query = workload.catalog, workload.query
+
+    print("=== compile time ===")
+    static = optimize_static(catalog, query)
+    print("static plan (optimized for selectivity 0.05):")
+    print(plan_to_text(static.plan))
+    print()
+
+    dynamic = optimize_dynamic(catalog, query)
+    print("dynamic plan (cost intervals, choose-plan operator):")
+    print(plan_to_text(dynamic.plan))
+    print()
+
+    # Load actual data so the plans can really run.
+    database = Database(catalog)
+    populate_database(database, seed=0)
+    domain = catalog.domain_size("R1", "a")
+
+    print("=== start-up time / run time ===")
+    for selectivity in (0.01, 0.30, 0.90):
+        bindings = (
+            Bindings()
+            .bind("sel_R1", selectivity)
+            .bind_variable("v_R1", selectivity * domain)
+        )
+        chosen, report = resolve_dynamic_plan(
+            dynamic.plan, catalog, query.parameter_space, bindings
+        )
+        static_cost = predicted_execution_seconds(
+            static.plan, catalog, query.parameter_space, bindings
+        )
+        dynamic_cost = predicted_execution_seconds(
+            chosen, catalog, query.parameter_space, bindings
+        )
+        executed = execute_plan(
+            chosen, database, bindings, query.parameter_space
+        )
+        print(
+            "selectivity %.2f: choose-plan picked %-20s "
+            "static %.3fs vs dynamic %.3fs (%.1fx) — %d rows returned"
+            % (
+                selectivity,
+                chosen.operator_name(),
+                static_cost,
+                dynamic_cost,
+                static_cost / dynamic_cost,
+                executed.row_count,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``                 — compile, store, activate, and execute the
+  motivating example end to end, narrating each step;
+* ``experiments [N]``      — regenerate the paper's evaluation
+  (Table 1 and Figures 3-8) with N invocations per query (default 100);
+* ``sql "<query>"``        — parse an embedded-SQL query against the
+  demo catalog and print its static and dynamic plans.
+"""
+
+import sys
+
+from repro import (
+    Bindings,
+    Database,
+    execute_plan,
+    optimize_dynamic,
+    optimize_static,
+    paper_workload,
+    parse_query,
+    plan_to_text,
+    populate_database,
+    resolve_dynamic_plan,
+)
+
+
+def _demo():
+    workload = paper_workload(2)
+    catalog, query = workload.catalog, workload.query
+    print("Dynamic Query Evaluation Plans — demo")
+    print("query: 2-way join, both relations filtered by host variables")
+    print()
+
+    static = optimize_static(catalog, query)
+    dynamic = optimize_dynamic(catalog, query)
+    print(
+        "compile time: static plan %d nodes, dynamic plan %d nodes "
+        "(%d choose-plan operators)"
+        % (static.node_count(), dynamic.node_count(),
+           dynamic.choose_plan_count())
+    )
+    print(plan_to_text(dynamic.plan, show_cost=False))
+    print()
+
+    database = Database(catalog)
+    populate_database(database, seed=0)
+    for sel_r1, sel_r2 in ((0.05, 0.5), (0.9, 0.05)):
+        bindings = Bindings()
+        for relation, selectivity in (("R1", sel_r1), ("R2", sel_r2)):
+            domain = catalog.domain_size(relation, "a")
+            bindings.bind("sel_%s" % relation, selectivity)
+            bindings.bind_variable(
+                "v_%s" % relation, selectivity * domain
+            )
+        chosen, report = resolve_dynamic_plan(
+            dynamic.plan, catalog, query.parameter_space, bindings
+        )
+        executed = execute_plan(
+            chosen, database, bindings, query.parameter_space
+        )
+        print(
+            "bindings (%.2f, %.2f): chose %s in %d decisions, "
+            "%d rows, %d pages read"
+            % (
+                sel_r1,
+                sel_r2,
+                chosen.operator_name(),
+                report.decisions,
+                executed.row_count,
+                executed.io_snapshot["pages_read"],
+            )
+        )
+    return 0
+
+
+def _experiments(argv):
+    from repro.experiments.runner import main as run_experiments
+
+    return run_experiments(argv)
+
+
+def _sql(argv):
+    if not argv:
+        print("usage: python -m repro sql \"SELECT * FROM R1 ...\"")
+        return 2
+    workload = paper_workload(2)
+    query = parse_query(argv[0], workload.catalog, name="cli-query")
+    print("parsed: %r" % query)
+    static = optimize_static(workload.catalog, query)
+    print("static plan:")
+    print(plan_to_text(static.plan))
+    dynamic = optimize_dynamic(workload.catalog, query)
+    print("dynamic plan:")
+    print(plan_to_text(dynamic.plan))
+    return 0
+
+
+def main(argv=None):
+    """Dispatch a CLI command; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command = argv[0] if argv else "demo"
+    if command == "demo":
+        return _demo()
+    if command == "experiments":
+        return _experiments(argv[1:])
+    if command == "sql":
+        return _sql(argv[1:])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

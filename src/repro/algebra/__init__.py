@@ -1,0 +1,69 @@
+"""Logical and physical algebras (Table 1 of the paper).
+
+Logical operators describe queries as optimizer input; physical
+operators describe the algorithms of the execution engine.  The
+mapping between them is defined by the implementation rules in
+:mod:`repro.optimizer.rules`:
+
+====================  ==================================
+Logical operator      Physical algorithms
+====================  ==================================
+Get-Set               File-Scan, B-tree-Scan
+Select                Filter, Filter-B-tree-Scan
+Join                  Hash-Join, Merge-Join, Index-Join
+(sort order)          Sort                    (enforcer)
+(plan robustness)     Choose-Plan             (enforcer)
+====================  ==================================
+"""
+
+from repro.algebra.expressions import (
+    Comparison,
+    ComparisonOp,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+    UserVariable,
+)
+from repro.algebra.logical import GetSet, Join, LogicalExpression, Select
+from repro.algebra.logical import Project as LogicalProject
+from repro.algebra.physical import (
+    BTreeScan,
+    ChoosePlan,
+    FileScan,
+    Filter,
+    FilterBTreeScan,
+    HashJoin,
+    IndexJoin,
+    MergeJoin,
+    PhysicalPlan,
+    Project,
+    Sort,
+)
+from repro.algebra.printer import count_plan_nodes, plan_to_text
+
+__all__ = [
+    "BTreeScan",
+    "ChoosePlan",
+    "Comparison",
+    "ComparisonOp",
+    "FileScan",
+    "Filter",
+    "FilterBTreeScan",
+    "GetSet",
+    "HashJoin",
+    "IndexJoin",
+    "Join",
+    "JoinPredicate",
+    "Literal",
+    "LogicalExpression",
+    "LogicalProject",
+    "Project",
+    "MergeJoin",
+    "PhysicalPlan",
+    "Select",
+    "SelectionPredicate",
+    "Sort",
+    "UserVariable",
+    "count_plan_nodes",
+    "plan_to_text",
+]

@@ -1,0 +1,273 @@
+"""Predicates, literals, and user variables.
+
+A *user variable* is a host-language variable embedded in a query
+("unbound predicate", paper Sections 1–2).  Its value — and hence the
+selectivity of the predicate containing it — is unknown at compile
+time and only supplied at start-up time.  Each selection predicate
+therefore carries a *selectivity parameter*: a named uncertain
+quantity with compile-time bounds, an expected value used by the
+traditional (static) optimizer, and a run-time binding.
+"""
+
+import enum
+
+from repro.common.errors import ExecutionError
+from repro.common.intervals import Interval
+
+
+class ComparisonOp(enum.Enum):
+    """Comparison operators usable in predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left, right):
+        """Apply the operator to two concrete values."""
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.LT:
+            return left < right
+        if self is ComparisonOp.LE:
+            return left <= right
+        if self is ComparisonOp.GT:
+            return left > right
+        return left >= right
+
+
+class Literal:
+    """A constant operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def resolve(self, bindings):
+        """Literals resolve to themselves regardless of bindings."""
+        return self.value
+
+    @property
+    def is_bound(self):
+        """Literals are always bound."""
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("literal", self.value))
+
+    def __repr__(self):
+        return "Literal(%r)" % (self.value,)
+
+
+class UserVariable:
+    """A host variable bound only at start-up time."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def resolve(self, bindings):
+        """Value of the variable under ``bindings``; raises when absent."""
+        if bindings is None or not bindings.has_variable(self.name):
+            raise ExecutionError(
+                "user variable %r is unbound; dynamic plans need bindings "
+                "at start-up time" % self.name
+            )
+        return bindings.variable(self.name)
+
+    @property
+    def is_bound(self):
+        """User variables are never bound at compile time."""
+        return False
+
+    def __eq__(self, other):
+        return isinstance(other, UserVariable) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("uservar", self.name))
+
+    def __repr__(self):
+        return "UserVariable(%r)" % self.name
+
+
+class Comparison:
+    """``attribute op operand`` where operand is a literal or variable."""
+
+    __slots__ = ("attribute", "op", "operand")
+
+    def __init__(self, attribute, op, operand):
+        self.attribute = attribute
+        self.op = op
+        if not isinstance(operand, (Literal, UserVariable)):
+            operand = Literal(operand)
+        self.operand = operand
+
+    def evaluate(self, record, bindings=None):
+        """True when the record satisfies the comparison."""
+        return self.op.evaluate(
+            record[self.attribute], self.operand.resolve(bindings)
+        )
+
+    @property
+    def is_bound(self):
+        """True when the operand needs no run-time binding."""
+        return self.operand.is_bound
+
+    def __eq__(self, other):
+        if not isinstance(other, Comparison):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.op == other.op
+            and self.operand == other.operand
+        )
+
+    def __hash__(self):
+        return hash((self.attribute, self.op, self.operand))
+
+    def __repr__(self):
+        return "%s %s %r" % (self.attribute, self.op.value, self.operand)
+
+
+class SelectionPredicate:
+    """A selection predicate with an explicit selectivity parameter.
+
+    ``selectivity_parameter`` names the uncertain quantity.  When it is
+    ``None`` the selectivity is fully known at compile time and equals
+    ``known_selectivity``.  When it is set, compile-time knowledge is
+    the interval ``selectivity_bounds`` (default ``[0, 1]``) with
+    ``expected_selectivity`` (default 0.05, the small default a
+    traditional optimizer would assume — paper Section 6) used for
+    static optimization; the run-time binding supplies the true value.
+    """
+
+    __slots__ = (
+        "comparison",
+        "selectivity_parameter",
+        "known_selectivity",
+        "selectivity_bounds",
+        "expected_selectivity",
+    )
+
+    #: Default selectivity assumed by traditional optimizers (paper §6).
+    DEFAULT_EXPECTED_SELECTIVITY = 0.05
+
+    def __init__(
+        self,
+        comparison,
+        selectivity_parameter=None,
+        known_selectivity=None,
+        selectivity_bounds=(0.0, 1.0),
+        expected_selectivity=DEFAULT_EXPECTED_SELECTIVITY,
+    ):
+        self.comparison = comparison
+        self.selectivity_parameter = selectivity_parameter
+        if selectivity_parameter is None and known_selectivity is None:
+            raise ValueError(
+                "a predicate needs either a known selectivity or a "
+                "selectivity parameter"
+            )
+        self.known_selectivity = known_selectivity
+        self.selectivity_bounds = Interval(*selectivity_bounds)
+        self.expected_selectivity = expected_selectivity
+
+    @property
+    def attribute(self):
+        """The (qualified) attribute the comparison restricts."""
+        return self.comparison.attribute
+
+    @property
+    def is_uncertain(self):
+        """True when the selectivity is a run-time parameter."""
+        return self.selectivity_parameter is not None
+
+    def evaluate(self, record, bindings=None):
+        """Apply the underlying comparison to a record."""
+        return self.comparison.evaluate(record, bindings)
+
+    def __eq__(self, other):
+        if not isinstance(other, SelectionPredicate):
+            return NotImplemented
+        return (
+            self.comparison == other.comparison
+            and self.selectivity_parameter == other.selectivity_parameter
+            and self.known_selectivity == other.known_selectivity
+            and self.selectivity_bounds == other.selectivity_bounds
+            and self.expected_selectivity == other.expected_selectivity
+        )
+
+    def __hash__(self):
+        return hash(
+            (
+                self.comparison,
+                self.selectivity_parameter,
+                self.known_selectivity,
+                self.selectivity_bounds,
+                self.expected_selectivity,
+            )
+        )
+
+    def __repr__(self):
+        if self.is_uncertain:
+            return "SelectionPredicate(%r, param=%s)" % (
+                self.comparison,
+                self.selectivity_parameter,
+            )
+        return "SelectionPredicate(%r, sel=%s)" % (
+            self.comparison,
+            self.known_selectivity,
+        )
+
+
+class JoinPredicate:
+    """Equi-join predicate ``left_attribute = right_attribute``.
+
+    Join selectivity is *not* stored here: per the paper it is computed
+    from catalog statistics (one over the larger join-attribute domain
+    size) and is considered known at compile time.
+    """
+
+    __slots__ = ("left_attribute", "right_attribute")
+
+    def __init__(self, left_attribute, right_attribute):
+        self.left_attribute = left_attribute
+        self.right_attribute = right_attribute
+
+    def evaluate(self, left_record, right_record):
+        """True when the two records agree on the join attributes."""
+        return left_record[self.left_attribute] == right_record[self.right_attribute]
+
+    def attribute_for(self, relation_name):
+        """The side of the predicate belonging to ``relation_name``."""
+        if self.left_attribute.startswith(relation_name + "."):
+            return self.left_attribute
+        if self.right_attribute.startswith(relation_name + "."):
+            return self.right_attribute
+        return None
+
+    def flipped(self):
+        """The same predicate with sides exchanged."""
+        return JoinPredicate(self.right_attribute, self.left_attribute)
+
+    def __eq__(self, other):
+        if not isinstance(other, JoinPredicate):
+            return NotImplemented
+        return {self.left_attribute, self.right_attribute} == {
+            other.left_attribute,
+            other.right_attribute,
+        }
+
+    def __hash__(self):
+        return hash(frozenset((self.left_attribute, self.right_attribute)))
+
+    def __repr__(self):
+        return "JoinPredicate(%s = %s)" % (self.left_attribute, self.right_attribute)

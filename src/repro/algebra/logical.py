@@ -1,0 +1,175 @@
+"""The logical algebra: Get-Set, Select, Join (paper Table 1).
+
+Logical expressions are immutable trees with structural equality, so
+the optimizer's memo can deduplicate expressions produced by
+different rule applications (e.g. the two associativity orders of the
+same join set).
+"""
+
+from repro.common.errors import OptimizationError
+
+
+class LogicalExpression:
+    """Base class for logical operators."""
+
+    __slots__ = ("_hash",)
+
+    def children(self):
+        """Input expressions, left to right."""
+        raise NotImplementedError
+
+    def relations(self):
+        """Frozenset of base relation names below this expression."""
+        raise NotImplementedError
+
+    def uncertain_parameters(self):
+        """Sorted names of uncertain selectivity parameters below here."""
+        names = set()
+        self._collect_uncertain(names)
+        return sorted(names)
+
+    def _collect_uncertain(self, names):
+        for child in self.children():
+            child._collect_uncertain(names)
+
+    def walk(self):
+        """Yield this expression and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            for expression in child.walk():
+                yield expression
+
+
+class GetSet(LogicalExpression):
+    """Retrieve a stored relation (paper: Get-Set)."""
+
+    __slots__ = ("relation_name",)
+
+    def __init__(self, relation_name):
+        self.relation_name = relation_name
+
+    def children(self):
+        return ()
+
+    def relations(self):
+        return frozenset((self.relation_name,))
+
+    def __eq__(self, other):
+        return isinstance(other, GetSet) and self.relation_name == other.relation_name
+
+    def __hash__(self):
+        return hash(("GetSet", self.relation_name))
+
+    def __repr__(self):
+        return "GetSet(%s)" % self.relation_name
+
+
+class Select(LogicalExpression):
+    """Apply a selection predicate (paper: Select)."""
+
+    __slots__ = ("input", "predicate")
+
+    def __init__(self, input, predicate):
+        self.input = input
+        self.predicate = predicate
+
+    def children(self):
+        return (self.input,)
+
+    def relations(self):
+        return self.input.relations()
+
+    def _collect_uncertain(self, names):
+        if self.predicate.is_uncertain:
+            names.add(self.predicate.selectivity_parameter)
+        LogicalExpression._collect_uncertain(self, names)
+
+    def __eq__(self, other):
+        if not isinstance(other, Select):
+            return NotImplemented
+        return self.input == other.input and self.predicate == other.predicate
+
+    def __hash__(self):
+        return hash(("Select", self.input, self.predicate))
+
+    def __repr__(self):
+        return "Select(%r, %r)" % (self.input, self.predicate)
+
+
+class Project(LogicalExpression):
+    """Keep only the named attributes (paper Table 1: Select, Project).
+
+    Projection is decoration in this algebra: it introduces no plan
+    alternatives, so the optimizer applies it once, on top of the
+    winning plan for its input.
+    """
+
+    __slots__ = ("input", "attributes")
+
+    def __init__(self, input, attributes):
+        self.input = input
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise OptimizationError("a projection needs at least one attribute")
+
+    def children(self):
+        return (self.input,)
+
+    def relations(self):
+        return self.input.relations()
+
+    def __eq__(self, other):
+        if not isinstance(other, Project):
+            return NotImplemented
+        return self.input == other.input and self.attributes == other.attributes
+
+    def __hash__(self):
+        return hash(("Project", self.input, self.attributes))
+
+    def __repr__(self):
+        return "Project(%r, %r)" % (list(self.attributes), self.input)
+
+
+class Join(LogicalExpression):
+    """Equi-join of two expressions (paper: Join)."""
+
+    __slots__ = ("left", "right", "predicates")
+
+    def __init__(self, left, right, predicates):
+        if not predicates:
+            raise OptimizationError(
+                "cross products are not part of the experimental algebra; "
+                "a Join needs at least one predicate"
+            )
+        if isinstance(predicates, (list, tuple)):
+            self.predicates = tuple(predicates)
+        else:
+            self.predicates = (predicates,)
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def relations(self):
+        return self.left.relations() | self.right.relations()
+
+    @property
+    def predicate(self):
+        """The first join predicate (most joins have exactly one)."""
+        return self.predicates[0]
+
+    def __eq__(self, other):
+        if not isinstance(other, Join):
+            return NotImplemented
+        return (
+            self.left == other.left
+            and self.right == other.right
+            and set(self.predicates) == set(other.predicates)
+        )
+
+    def __hash__(self):
+        return hash(("Join", self.left, self.right, frozenset(self.predicates)))
+
+    def __repr__(self):
+        return "Join(%r, %r, %r)" % (self.left, self.right, list(self.predicates))

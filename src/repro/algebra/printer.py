@@ -1,0 +1,57 @@
+"""Pretty-printing of physical plan DAGs.
+
+Shared nodes are printed once and referenced by label afterwards, so
+the textual rendering stays proportional to the DAG size, like the
+access module itself.
+"""
+
+from repro.algebra.physical import ChoosePlan
+
+
+def count_plan_nodes(plan):
+    """Operator nodes in the plan DAG (the Figure 6 metric)."""
+    return plan.node_count()
+
+
+def plan_to_text(plan, show_cost=True):
+    """Render a plan DAG as an indented multi-line string."""
+    labels = {}
+    lines = []
+    _render(plan, 0, labels, lines, show_cost)
+    return "\n".join(lines)
+
+
+def _render(node, depth, labels, lines, show_cost):
+    indent = "  " * depth
+    existing = labels.get(id(node))
+    if existing is not None:
+        lines.append("%s@%d (shared)" % (indent, existing))
+        return
+    label = len(labels) + 1
+    labels[id(node)] = label
+
+    description = _describe(node)
+    if show_cost and node.cost is not None:
+        description += "  cost=%r" % node.cost
+    lines.append("%s@%d %s" % (indent, label, description))
+    for child in node.inputs():
+        _render(child, depth + 1, labels, lines, show_cost)
+
+
+def _describe(node):
+    name = node.operator_name()
+    if isinstance(node, ChoosePlan):
+        return "%s (%d alternatives)" % (name, len(node.alternatives))
+    local = getattr(node, "relation_name", None)
+    if local is not None:
+        attribute = getattr(node, "attribute", None)
+        if attribute is not None:
+            return "%s %s.%s" % (name, local, attribute)
+        return "%s %s" % (name, local)
+    predicate = getattr(node, "predicate", None)
+    if predicate is not None:
+        return "%s %r" % (name, predicate)
+    attribute = getattr(node, "attribute", None)
+    if attribute is not None:
+        return "%s on %s" % (name, attribute)
+    return name

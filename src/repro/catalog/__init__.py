@@ -1,0 +1,32 @@
+"""System catalog: relation schemas, statistics, and index metadata.
+
+The optimizer reads cardinalities, attribute domain sizes, and index
+availability from here; the synthetic generator (:mod:`.synthetic`)
+creates catalogs and matching stored data for the paper's experiments.
+"""
+
+from repro.catalog.catalog import Catalog, IndexInfo
+from repro.catalog.schema import Attribute, AttributeType, Schema
+from repro.catalog.statistics import AttributeStatistics, RelationStatistics
+from repro.catalog.synthetic import (
+    SyntheticRelationSpec,
+    build_synthetic_catalog,
+    default_relation_specs,
+    generate_rows,
+    populate_database,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeStatistics",
+    "AttributeType",
+    "Catalog",
+    "IndexInfo",
+    "RelationStatistics",
+    "Schema",
+    "SyntheticRelationSpec",
+    "default_relation_specs",
+    "generate_rows",
+    "build_synthetic_catalog",
+    "populate_database",
+]

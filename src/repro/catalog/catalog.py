@@ -1,0 +1,149 @@
+"""The system catalog: relations, statistics, and index metadata.
+
+Everything the optimizer may consult at compile time lives here.  The
+catalog deliberately does not hold the stored data itself — that is the
+job of :class:`repro.storage.Database` — so that optimization can run
+against a catalog alone, exactly as a real optimizer does.
+"""
+
+from repro.catalog.schema import Schema
+from repro.common.errors import CatalogError
+
+
+class IndexInfo:
+    """Metadata for one B-tree index.
+
+    The paper's experiments give every selection attribute and every
+    join attribute an *unclustered* B-tree (Section 6); clustered
+    indexes are supported for completeness.
+    """
+
+    __slots__ = ("relation_name", "attribute_name", "clustered", "name")
+
+    def __init__(self, relation_name, attribute_name, clustered=False, name=None):
+        self.relation_name = relation_name
+        self.attribute_name = attribute_name
+        self.clustered = bool(clustered)
+        self.name = name or "idx_%s_%s" % (relation_name, attribute_name)
+
+    def __repr__(self):
+        kind = "clustered" if self.clustered else "unclustered"
+        return "IndexInfo(%s on %s.%s)" % (
+            kind,
+            self.relation_name,
+            self.attribute_name,
+        )
+
+
+class Catalog:
+    """Registry of relation schemas, statistics, and indexes."""
+
+    def __init__(self):
+        self._schemas = {}
+        self._statistics = {}
+        self._indexes = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_relation(self, schema, statistics):
+        """Register a relation with its schema and statistics."""
+        if schema.relation_name in self._schemas:
+            raise CatalogError("relation %r already exists" % schema.relation_name)
+        if statistics.relation_name != schema.relation_name:
+            raise CatalogError(
+                "schema is for %r but statistics are for %r"
+                % (schema.relation_name, statistics.relation_name)
+            )
+        self._schemas[schema.relation_name] = schema
+        self._statistics[schema.relation_name] = statistics
+        self._indexes.setdefault(schema.relation_name, {})
+
+    def add_index(self, index_info):
+        """Register a B-tree index on an existing relation."""
+        relation = index_info.relation_name
+        if relation not in self._schemas:
+            raise CatalogError(
+                "cannot index unknown relation %r" % relation
+            )
+        schema = self._schemas[relation]
+        if index_info.attribute_name not in schema:
+            raise CatalogError(
+                "cannot index unknown attribute %s.%s"
+                % (relation, index_info.attribute_name)
+            )
+        self._indexes[relation][index_info.attribute_name] = index_info
+
+    def update_statistics(self, statistics):
+        """Replace a relation's statistics (database contents changed).
+
+        Models the drift the paper opens with: "the values of these
+        parameters may vary over time because of changes in the
+        database contents".  Choose-plan decision procedures read the
+        catalog at start-up time, so updated statistics immediately
+        influence which alternatives win.
+        """
+        if statistics.relation_name not in self._schemas:
+            raise CatalogError(
+                "unknown relation %r" % statistics.relation_name
+            )
+        self._statistics[statistics.relation_name] = statistics
+
+    def drop_index(self, relation_name, attribute_name):
+        """Remove an index; mirrors 'indexes are created and destroyed'."""
+        try:
+            del self._indexes[relation_name][attribute_name]
+        except KeyError:
+            raise CatalogError(
+                "no index on %s.%s" % (relation_name, attribute_name)
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def relation_names(self):
+        """Sorted names of all registered relations."""
+        return sorted(self._schemas)
+
+    def has_relation(self, relation_name):
+        """True when the relation is registered."""
+        return relation_name in self._schemas
+
+    def schema(self, relation_name):
+        """Schema of a relation, raising :class:`CatalogError` if unknown."""
+        try:
+            return self._schemas[relation_name]
+        except KeyError:
+            raise CatalogError("unknown relation %r" % relation_name) from None
+
+    def statistics(self, relation_name):
+        """Statistics of a relation."""
+        try:
+            return self._statistics[relation_name]
+        except KeyError:
+            raise CatalogError("unknown relation %r" % relation_name) from None
+
+    def cardinality(self, relation_name):
+        """Record count of a relation."""
+        return self.statistics(relation_name).cardinality
+
+    def index_on(self, relation_name, attribute_name):
+        """The :class:`IndexInfo` on an attribute, or ``None``."""
+        if "." in attribute_name:
+            prefix, rest = attribute_name.split(".", 1)
+            if prefix == relation_name:
+                attribute_name = rest
+        return self._indexes.get(relation_name, {}).get(attribute_name)
+
+    def indexes_for(self, relation_name):
+        """All indexes registered on a relation."""
+        return list(self._indexes.get(relation_name, {}).values())
+
+    def domain_size(self, relation_name, attribute_name):
+        """Distinct-value count for an attribute (join selectivity input)."""
+        return self.statistics(relation_name).attribute(attribute_name).domain_size
+
+    def __repr__(self):
+        return "Catalog(%d relations)" % len(self._schemas)

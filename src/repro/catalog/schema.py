@@ -1,0 +1,114 @@
+"""Relation schemas for the prototype's basic relational data model.
+
+The paper's prototype defines "a basic relational data model and
+typical execution algorithms" (Section 5); schemas here are flat lists
+of typed attributes.  Attribute references are qualified as
+``relation.attribute`` throughout the library.
+"""
+
+import enum
+
+from repro.common.errors import CatalogError
+
+
+class AttributeType(enum.Enum):
+    """Primitive attribute types supported by the execution engine."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+
+
+class Attribute:
+    """A named, typed column of a relation."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name, type=AttributeType.INTEGER):
+        if not name or not isinstance(name, str):
+            raise CatalogError("attribute name must be a non-empty string")
+        if "." in name:
+            raise CatalogError(
+                "attribute name %r must not be qualified; qualification "
+                "is added by the schema" % name
+            )
+        self.name = name
+        self.type = type
+
+    def __eq__(self, other):
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.name == other.name and self.type == other.type
+
+    def __hash__(self):
+        return hash((self.name, self.type))
+
+    def __repr__(self):
+        return "Attribute(%r, %s)" % (self.name, self.type.value)
+
+
+class Schema:
+    """Ordered attribute list of a relation or intermediate result.
+
+    A schema knows the relation name it belongs to so it can produce
+    qualified attribute names (``R.a``); join results concatenate the
+    qualified schemas of their inputs.
+    """
+
+    __slots__ = ("relation_name", "attributes", "_index")
+
+    def __init__(self, relation_name, attributes):
+        self.relation_name = relation_name
+        self.attributes = tuple(attributes)
+        seen = {}
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in seen:
+                raise CatalogError(
+                    "duplicate attribute %r in schema of %r"
+                    % (attribute.name, relation_name)
+                )
+            seen[attribute.name] = position
+        self._index = seen
+
+    def __len__(self):
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __contains__(self, name):
+        return self.unqualify(name) in self._index
+
+    def unqualify(self, name):
+        """Strip a ``relation.`` prefix when it matches this schema."""
+        prefix = self.relation_name + "."
+        if name.startswith(prefix):
+            return name[len(prefix):]
+        return name
+
+    def qualified_names(self):
+        """All attribute names qualified with the relation name."""
+        return tuple(
+            "%s.%s" % (self.relation_name, attribute.name)
+            for attribute in self.attributes
+        )
+
+    def position_of(self, name):
+        """Zero-based position of an attribute, accepting qualified names."""
+        unqualified = self.unqualify(name)
+        try:
+            return self._index[unqualified]
+        except KeyError:
+            raise CatalogError(
+                "relation %r has no attribute %r" % (self.relation_name, name)
+            ) from None
+
+    def attribute(self, name):
+        """Look up an :class:`Attribute` by (possibly qualified) name."""
+        return self.attributes[self.position_of(name)]
+
+    def __repr__(self):
+        return "Schema(%r, %s)" % (
+            self.relation_name,
+            [attribute.name for attribute in self.attributes],
+        )

@@ -1,0 +1,92 @@
+"""Statistics the cost model reads: cardinalities and domain sizes.
+
+The paper computes join selectivities as "the cross product of the
+joined relations divided by the larger of the join attribute domain
+sizes" (Section 6); that needs per-attribute domain sizes, kept here.
+"""
+
+from repro.common.errors import CatalogError
+from repro.common.units import RECORD_SIZE_BYTES, pages_for_records
+
+
+class AttributeStatistics:
+    """Per-attribute statistics: number of distinct values (domain size)."""
+
+    __slots__ = ("attribute_name", "domain_size", "min_value", "max_value")
+
+    def __init__(self, attribute_name, domain_size, min_value=None, max_value=None):
+        if domain_size <= 0:
+            raise CatalogError(
+                "domain size of %r must be positive, got %r"
+                % (attribute_name, domain_size)
+            )
+        self.attribute_name = attribute_name
+        self.domain_size = int(domain_size)
+        self.min_value = 0 if min_value is None else min_value
+        self.max_value = (
+            self.min_value + self.domain_size - 1 if max_value is None else max_value
+        )
+
+    def __repr__(self):
+        return "AttributeStatistics(%r, domain=%d)" % (
+            self.attribute_name,
+            self.domain_size,
+        )
+
+
+class RelationStatistics:
+    """Per-relation statistics: cardinality, width, attribute stats."""
+
+    __slots__ = ("relation_name", "cardinality", "record_size", "_attributes")
+
+    def __init__(
+        self,
+        relation_name,
+        cardinality,
+        attribute_statistics=(),
+        record_size=RECORD_SIZE_BYTES,
+    ):
+        if cardinality < 0:
+            raise CatalogError(
+                "cardinality of %r must be non-negative" % relation_name
+            )
+        self.relation_name = relation_name
+        self.cardinality = int(cardinality)
+        self.record_size = int(record_size)
+        self._attributes = {}
+        for stats in attribute_statistics:
+            self.add_attribute(stats)
+
+    def add_attribute(self, stats):
+        """Register statistics for one attribute."""
+        self._attributes[stats.attribute_name] = stats
+
+    def attribute(self, name):
+        """Statistics for an attribute; unqualified names only."""
+        if "." in name:
+            name = name.split(".", 1)[1]
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise CatalogError(
+                "no statistics for attribute %r of relation %r"
+                % (name, self.relation_name)
+            ) from None
+
+    def has_attribute(self, name):
+        """True when statistics exist for the attribute."""
+        if "." in name:
+            name = name.split(".", 1)[1]
+        return name in self._attributes
+
+    @property
+    def pages(self):
+        """Pages occupied by the relation on disk."""
+        return pages_for_records(self.cardinality)
+
+    def __repr__(self):
+        return "RelationStatistics(%r, cardinality=%d, pages=%d)" % (
+            self.relation_name,
+            self.cardinality,
+            self.pages,
+        )

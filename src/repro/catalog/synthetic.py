@@ -1,0 +1,147 @@
+"""Synthetic catalogs and data matching the paper's experimental setup.
+
+Section 6 of the paper: relation cardinalities vary from 100 to 1,000
+records of 512 bytes; attribute domain sizes vary from 0.2 to 1.25
+times the relation's cardinality; attributes referenced by unbound
+selection predicates and all join attributes carry unclustered
+B-trees.
+"""
+
+from repro.catalog.catalog import Catalog, IndexInfo
+from repro.catalog.schema import Attribute, AttributeType, Schema
+from repro.catalog.statistics import AttributeStatistics, RelationStatistics
+from repro.common.rng import make_rng
+
+
+class SyntheticRelationSpec:
+    """Blueprint for one synthetic relation.
+
+    ``indexed_attributes`` receive unclustered B-trees; ``domain_sizes``
+    maps attribute name to distinct-value count (defaults drawn from
+    the paper's 0.2–1.25 × cardinality range).
+    """
+
+    def __init__(
+        self,
+        name,
+        cardinality,
+        attribute_names=("a", "b", "c"),
+        indexed_attributes=("a", "b", "c"),
+        domain_sizes=None,
+    ):
+        self.name = name
+        self.cardinality = int(cardinality)
+        self.attribute_names = tuple(attribute_names)
+        self.indexed_attributes = tuple(indexed_attributes)
+        self.domain_sizes = dict(domain_sizes or {})
+
+    def __repr__(self):
+        return "SyntheticRelationSpec(%r, cardinality=%d)" % (
+            self.name,
+            self.cardinality,
+        )
+
+
+#: Paper Section 6: domains span 0.2 to 1.25 times the cardinality.
+DOMAIN_FACTOR_RANGE = (0.2, 1.25)
+
+#: Domain factor used for join attributes (``b`` and ``c``).  Chosen
+#: from the small end of the paper's range so that join fan-outs
+#: (cardinality over domain size) exceed one and selectivity-estimation
+#: errors *compound* through multi-way joins — the calibration that
+#: reproduces Figure 4's growing static-vs-dynamic gap (5x for query 1
+#: up to ~24x for query 5).  See EXPERIMENTS.md.
+JOIN_DOMAIN_FACTOR = 0.4
+
+#: Attributes treated as join attributes by the default specs.
+JOIN_ATTRIBUTES = ("b", "c")
+
+#: Paper Section 6: cardinalities vary from 100 to 1,000 records.
+CARDINALITY_RANGE = (100, 1000)
+
+
+def default_relation_specs(count, seed=0, attribute_names=("a", "b", "c")):
+    """Relation specs ``R1..Rcount`` with paper-distribution statistics.
+
+    Cardinalities are spread evenly over the paper's [100, 1000] range
+    (deterministically, so query definitions are stable).  Selection
+    attributes draw their domain factor from the paper's [0.2, 1.25]
+    with a seeded RNG; join attributes use the fixed
+    :data:`JOIN_DOMAIN_FACTOR` calibration.
+    """
+    rng = make_rng(seed, "relation-specs")
+    specs = []
+    low, high = CARDINALITY_RANGE
+    for i in range(count):
+        if count == 1:
+            cardinality = (low + high) // 2
+        else:
+            cardinality = low + (high - low) * i // (count - 1)
+        domain_sizes = {}
+        for attribute_name in attribute_names:
+            if attribute_name in JOIN_ATTRIBUTES:
+                factor = JOIN_DOMAIN_FACTOR
+            else:
+                factor = rng.uniform(*DOMAIN_FACTOR_RANGE)
+            domain_sizes[attribute_name] = max(1, int(round(cardinality * factor)))
+        specs.append(
+            SyntheticRelationSpec(
+                name="R%d" % (i + 1),
+                cardinality=cardinality,
+                attribute_names=attribute_names,
+                indexed_attributes=attribute_names,
+                domain_sizes=domain_sizes,
+            )
+        )
+    return specs
+
+
+def build_synthetic_catalog(specs, seed=0):
+    """A :class:`Catalog` for the given relation specs."""
+    catalog = Catalog()
+    rng = make_rng(seed, "catalog")
+    for spec in specs:
+        attributes = [
+            Attribute(name, AttributeType.INTEGER) for name in spec.attribute_names
+        ]
+        schema = Schema(spec.name, attributes)
+        attribute_stats = []
+        for name in spec.attribute_names:
+            domain = spec.domain_sizes.get(name)
+            if domain is None:
+                factor = rng.uniform(*DOMAIN_FACTOR_RANGE)
+                domain = max(1, int(round(spec.cardinality * factor)))
+            attribute_stats.append(AttributeStatistics(name, domain))
+        statistics = RelationStatistics(
+            spec.name, spec.cardinality, attribute_stats
+        )
+        catalog.add_relation(schema, statistics)
+        for attribute_name in spec.indexed_attributes:
+            catalog.add_index(IndexInfo(spec.name, attribute_name, clustered=False))
+    return catalog
+
+
+def generate_rows(catalog, relation_name, seed=0):
+    """Yield synthetic rows matching the catalog statistics.
+
+    Values of each attribute are drawn uniformly from
+    ``[0, domain_size)`` so that actual distinct-value counts track
+    the catalog's domain sizes.
+    """
+    schema = catalog.schema(relation_name)
+    statistics = catalog.statistics(relation_name)
+    rng = make_rng(seed, "rows", relation_name)
+    for _ in range(statistics.cardinality):
+        row = {}
+        for attribute in schema:
+            domain = statistics.attribute(attribute.name).domain_size
+            row[attribute.name] = rng.randrange(domain)
+        yield row
+
+
+def populate_database(database, seed=0):
+    """Load synthetic rows for every catalog relation into ``database``."""
+    for relation_name in database.catalog.relation_names():
+        rows = generate_rows(database.catalog, relation_name, seed=seed)
+        database.load(relation_name, rows)
+    return database

@@ -1,0 +1,48 @@
+"""Shared primitives: intervals, partial-order comparisons, units, errors.
+
+The key concept of the paper is *incomparability of costs at
+compile-time*: when cost-model parameters are unbound, costs are
+intervals rather than points, and overlapping intervals cannot be
+ordered.  Everything in this package exists to support that idea.
+"""
+
+from repro.common.errors import (
+    CatalogError,
+    ExecutionError,
+    OptimizationError,
+    PlanError,
+    ReproError,
+)
+from repro.common.intervals import Interval
+from repro.common.ordering import PartialOrder
+from repro.common.rng import derive_seed, make_rng
+from repro.common.units import (
+    CPU_COST_WEIGHT,
+    DISK_BANDWIDTH_BYTES_PER_SEC,
+    IO_TIME_PER_PAGE,
+    PAGE_SIZE_BYTES,
+    PLAN_NODE_BYTES,
+    RECORD_SIZE_BYTES,
+    RECORDS_PER_PAGE,
+    pages_for_records,
+)
+
+__all__ = [
+    "CPU_COST_WEIGHT",
+    "CatalogError",
+    "DISK_BANDWIDTH_BYTES_PER_SEC",
+    "ExecutionError",
+    "IO_TIME_PER_PAGE",
+    "Interval",
+    "OptimizationError",
+    "PAGE_SIZE_BYTES",
+    "PLAN_NODE_BYTES",
+    "PartialOrder",
+    "PlanError",
+    "RECORDS_PER_PAGE",
+    "RECORD_SIZE_BYTES",
+    "ReproError",
+    "derive_seed",
+    "make_rng",
+    "pages_for_records",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+A single root exception (:class:`ReproError`) lets callers catch
+anything raised by the library, while the subclasses distinguish the
+major subsystems (catalog, optimizer, plan handling, execution).
+"""
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown relations/attributes or inconsistent statistics."""
+
+
+class OptimizationError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class PlanError(ReproError):
+    """Raised for malformed plans (bad DAG structure, missing inputs, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when plan execution fails (unbound variables, missing index)."""
+
+
+class BindingError(ExecutionError):
+    """Raised when a run-time binding required at start-up time is missing."""
+
+
+class IncomparableCostError(OptimizationError):
+    """Raised when a total order is required but costs are incomparable.
+
+    Static (traditional) optimization requires a total order of plan
+    costs; if the cost model yields overlapping intervals in that mode,
+    something is wrong and we fail loudly rather than pick arbitrarily.
+    """
+
+
+class InfeasiblePlanError(ExecutionError):
+    """Raised when a stored plan no longer matches the catalogs.
+
+    System R re-optimized queries whose compile-time plans had become
+    infeasible, e.g. because an index was dropped ([CAK81], paper
+    Section 2).  Activation validates access modules against the
+    current catalogs; a static plan using a dropped index is
+    infeasible, while a dynamic plan survives as long as each
+    choose-plan retains at least one feasible alternative.
+    """

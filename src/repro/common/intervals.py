@@ -1,0 +1,245 @@
+"""Closed numeric intervals with the paper's comparison semantics.
+
+An :class:`Interval` ``[lower, upper]`` models an uncertain quantity
+whose true value is only known to lie within the bounds.  The paper
+(Section 5) uses intervals for cost, selectivity, cardinality, and
+available memory.  The operations implemented here follow the paper:
+
+* addition adds both bounds;
+* subtraction — used only to maintain branch-and-bound limits —
+  subtracts **only the lower bound**, "since we can only be sure that
+  the lower-bound cost will be used up";
+* two intervals are ``LESS``/``GREATER`` only when they do not overlap,
+  ``EQUAL`` only when both are the same point, and ``INCOMPARABLE``
+  whenever they overlap.
+"""
+
+from repro.common.ordering import PartialOrder
+
+
+class Interval:
+    """A closed interval ``[lower, upper]`` over the reals.
+
+    Instances are immutable and hashable so they can be shared freely
+    across memo groups and plan nodes.
+    """
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower, upper=None):
+        """Create ``[lower, upper]``; a single argument makes a point.
+
+        Raises ``ValueError`` if ``lower > upper`` or a bound is NaN.
+        """
+        if upper is None:
+            upper = lower
+        lower = float(lower)
+        upper = float(upper)
+        if lower != lower or upper != upper:  # NaN check
+            raise ValueError("interval bounds must not be NaN")
+        if lower > upper:
+            raise ValueError(
+                "interval lower bound %r exceeds upper bound %r" % (lower, upper)
+            )
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Interval is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def point(cls, value):
+        """The degenerate interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def zero(cls):
+        """The additive identity ``[0, 0]``."""
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def hull(cls, intervals):
+        """Smallest interval containing every interval in ``intervals``."""
+        intervals = list(intervals)
+        if not intervals:
+            raise ValueError("hull of no intervals is undefined")
+        return cls(
+            min(iv.lower for iv in intervals),
+            max(iv.upper for iv in intervals),
+        )
+
+    @classmethod
+    def envelope_min(cls, intervals):
+        """Interval of ``min`` over uncertain quantities.
+
+        This is the paper's cost rule for a choose-plan operator: with
+        alternatives ``[a, b]`` and ``[c, d]`` the chosen plan costs at
+        best ``min(a, c)`` and at worst ``min(b, d)`` (the operator
+        always picks its cheapest input once bindings are known).
+        """
+        intervals = list(intervals)
+        if not intervals:
+            raise ValueError("envelope_min of no intervals is undefined")
+        return cls(
+            min(iv.lower for iv in intervals),
+            min(iv.upper for iv in intervals),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_point(self):
+        """True when lower == upper, i.e. the value is fully known."""
+        return self.lower == self.upper
+
+    @property
+    def width(self):
+        """Length of the interval (zero for points)."""
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self):
+        """Arithmetic centre of the interval."""
+        return (self.lower + self.upper) / 2.0
+
+    def contains(self, value):
+        """True when ``value`` lies within the closed interval."""
+        return self.lower <= value <= self.upper
+
+    def overlaps(self, other):
+        """True when the two closed intervals share at least one value."""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    # ------------------------------------------------------------------
+    # Arithmetic (all monotone, hence exact on intervals)
+    # ------------------------------------------------------------------
+
+    def __add__(self, other):
+        other = _coerce(other)
+        return Interval(self.lower + other.lower, self.upper + other.upper)
+
+    __radd__ = __add__
+
+    def subtract_lower(self, other):
+        """Branch-and-bound subtraction: remove only the *lower* bound.
+
+        Used to tighten a cost limit after committing to a subplan; the
+        paper notes that only the subplan's guaranteed (lower-bound)
+        cost may be deducted, which is why interval pruning is weaker
+        than traditional point pruning.  The result keeps this
+        interval's bounds reduced by ``other.lower`` and is clamped so
+        it remains a valid interval.
+        """
+        other = _coerce(other)
+        lower = self.lower - other.lower
+        upper = self.upper - other.lower
+        if lower > upper:  # cannot happen, but stay defensive
+            lower = upper
+        return Interval(lower, upper)
+
+    def __mul__(self, other):
+        other = _coerce(other)
+        products = (
+            self.lower * other.lower,
+            self.lower * other.upper,
+            self.upper * other.lower,
+            self.upper * other.upper,
+        )
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def scale(self, factor):
+        """Multiply by a non-negative scalar."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Interval(self.lower * factor, self.upper * factor)
+
+    def clamp(self, lo, hi):
+        """Intersect with ``[lo, hi]``; empty intersections collapse."""
+        lower = min(max(self.lower, lo), hi)
+        upper = max(min(self.upper, hi), lo)
+        if lower > upper:
+            lower = upper
+        return Interval(lower, upper)
+
+    def apply_monotone(self, fn, increasing=True):
+        """Map a monotone scalar function over the interval.
+
+        ``fn`` must be monotone over the interval; ``increasing``
+        selects the direction, so decreasing functions swap the bounds.
+        """
+        lo = fn(self.lower)
+        hi = fn(self.upper)
+        if not increasing:
+            lo, hi = hi, lo
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Comparison (the heart of the paper)
+    # ------------------------------------------------------------------
+
+    def compare(self, other):
+        """Compare per the paper: overlap means :data:`INCOMPARABLE`.
+
+        ``EQUAL`` is returned only for identical point intervals —
+        identical *wide* intervals are deliberately incomparable
+        because the two underlying plans may win under different
+        bindings (the prototype's "most naive", conservative choice
+        described at the end of Section 3).
+        """
+        other = _coerce(other)
+        if self.is_point and other.is_point and self.lower == other.lower:
+            return PartialOrder.EQUAL
+        if self.upper < other.lower:
+            return PartialOrder.LESS
+        if other.upper < self.lower:
+            return PartialOrder.GREATER
+        if self.upper == other.lower and self.is_point != other.is_point:
+            # Touching at a single endpoint with one side a point: still
+            # overlap, hence incomparable.
+            return PartialOrder.INCOMPARABLE
+        return PartialOrder.INCOMPARABLE
+
+    def dominates(self, other):
+        """True when this interval is certainly no worse than ``other``.
+
+        Used for pruning: a plan may be discarded if an alternative's
+        cost dominates it (is LESS, or both are the same point).
+        """
+        cmp = self.compare(other)
+        return cmp in (PartialOrder.LESS, PartialOrder.EQUAL)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.lower == other.lower and self.upper == other.upper
+
+    def __hash__(self):
+        return hash((self.lower, self.upper))
+
+    def __repr__(self):
+        if self.is_point:
+            return "Interval(%.6g)" % self.lower
+        return "Interval(%.6g, %.6g)" % (self.lower, self.upper)
+
+    def __iter__(self):
+        yield self.lower
+        yield self.upper
+
+
+def _coerce(value):
+    """Accept bare numbers anywhere an interval is expected."""
+    if isinstance(value, Interval):
+        return value
+    return Interval.point(value)

@@ -1,0 +1,71 @@
+"""Physical constants of the simulated machine and database.
+
+The values mirror Section 6 of the paper:
+
+* records are 512 bytes, pages are 2,048 bytes (4 records per page);
+* access-module plan nodes are 128 bytes and the disk transfers
+  2 MB/sec, so roughly 16,000 plan nodes can be read per second;
+* reading an access module costs one seek plus catalog validation,
+  modelled as a flat 0.1 seconds for either plan kind.
+
+Random page reads (index record fetches) are charged a full
+seek+rotation+transfer; sequential reads (file scans, leaf chains)
+only the transfer, which is what makes unclustered index scans lose
+to file scans at high selectivities — the paper's motivating example.
+"""
+
+import math
+
+#: Bytes per stored record (paper Section 6).
+RECORD_SIZE_BYTES = 512
+
+#: Bytes per disk page (paper Section 6).
+PAGE_SIZE_BYTES = 2048
+
+#: Records that fit on one page.
+RECORDS_PER_PAGE = PAGE_SIZE_BYTES // RECORD_SIZE_BYTES
+
+#: Bytes per operator node in a serialized access module (paper Section 6).
+PLAN_NODE_BYTES = 128
+
+#: Sequential disk bandwidth (paper Section 6: 2 MB/sec).
+DISK_BANDWIDTH_BYTES_PER_SEC = 2 * 1024 * 1024
+
+#: Seconds to read one page at random (seek + rotation + transfer).
+IO_TIME_PER_PAGE = 0.01
+
+#: Seconds to read one page sequentially (transfer plus the amortized
+#: short seeks of a multi-extent file).  The 10:3 random-to-sequential
+#: ratio places the file-scan/index-scan crossover near selectivity
+#: 0.09, above the traditional optimizer's 0.05 default — the
+#: constellation of the paper's motivating example, where the static
+#: plan bets on the index scan and loses badly at large selectivities.
+SEQ_IO_TIME_PER_PAGE = 0.003
+
+#: Seconds of CPU work to process one record (compare/hash/move).
+CPU_COST_WEIGHT = 0.0001
+
+#: Seconds for catalog validation plus the initial seek when activating
+#: an access module; identical for static and dynamic plans because both
+#: use compile-time optimization (paper Section 6 calls this ``z = 0.1``).
+CATALOG_VALIDATION_SECONDS = 0.1
+
+
+def pages_for_records(record_count):
+    """Number of pages needed to hold ``record_count`` records.
+
+    Always at least one page for a non-empty relation; zero records
+    occupy zero pages.
+    """
+    if record_count <= 0:
+        return 0
+    return max(1, math.ceil(record_count / RECORDS_PER_PAGE))
+
+
+def access_module_read_seconds(node_count):
+    """Transfer time to read an access module of ``node_count`` plan nodes.
+
+    Derived exactly as in the paper: node count times node size divided
+    by disk bandwidth (about 16,000 nodes per second).
+    """
+    return (node_count * PLAN_NODE_BYTES) / DISK_BANDWIDTH_BYTES_PER_SEC

@@ -1,0 +1,44 @@
+"""The cost model: uncertain parameters, valuations, and cost formulas.
+
+The paper encapsulates cost in an abstract data type whose comparison
+may return "incomparable" (Section 3).  Here cost is an
+:class:`~repro.common.intervals.Interval` of seconds; the same cost
+*formulas* serve three purposes, differing only in the *valuation*
+used for the uncertain parameters:
+
+* ``expected`` valuation (every parameter a point at its expected
+  value) — traditional static optimization;
+* ``bounds`` valuation (uncertain parameters as their full intervals)
+  — dynamic-plan optimization;
+* ``runtime`` valuation (uncertain parameters bound to actual values)
+  — the choose-plan decision procedure at start-up time and run-time
+  optimization.
+"""
+
+from repro.cost.model import (
+    CHOOSE_PLAN_OVERHEAD_SECONDS,
+    CostResult,
+    choose_plan_cost,
+    compare_costs,
+)
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import (
+    Bindings,
+    MEMORY_PARAMETER,
+    Parameter,
+    ParameterSpace,
+    Valuation,
+)
+
+__all__ = [
+    "Bindings",
+    "CHOOSE_PLAN_OVERHEAD_SECONDS",
+    "CostModel",
+    "CostResult",
+    "MEMORY_PARAMETER",
+    "Parameter",
+    "ParameterSpace",
+    "Valuation",
+    "choose_plan_cost",
+    "compare_costs",
+]

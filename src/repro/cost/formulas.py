@@ -1,0 +1,480 @@
+"""Cost formulas for every physical algorithm (paper Section 5).
+
+All formulas are monotone in their uncertain arguments (cardinalities
+and selectivities increase cost; memory decreases it), so evaluating
+them at the interval endpoints yields exact interval costs — the
+paper's construction: "the upper and lower bounds of the cost
+intervals are computed using traditional cost formulas supplied with
+the appropriate upper and lower bound values for the parameters ...
+assuming that cost functions are monotonic in all their arguments".
+
+A single :class:`CostModel` instance evaluates a whole plan DAG with
+memoization (each shared subplan is costed once — the sharing
+optimization the paper applies at start-up time).  The same class is
+used:
+
+* at compile time with a ``bounds`` valuation (interval costs),
+* at compile time with an ``expected`` valuation (static optimizer),
+* at start-up time with a ``runtime`` valuation (the choose-plan
+  decision procedure re-evaluates these very formulas).
+"""
+
+import math
+
+from repro.algebra.physical import (
+    BTreeScan,
+    ChoosePlan,
+    FileScan,
+    Filter,
+    FilterBTreeScan,
+    HashJoin,
+    IndexJoin,
+    Materialized,
+    MergeJoin,
+    Project,
+    Sort,
+)
+from repro.common.errors import PlanError
+from repro.common.intervals import Interval
+from repro.common.units import (
+    CPU_COST_WEIGHT,
+    IO_TIME_PER_PAGE,
+    RECORDS_PER_PAGE,
+    SEQ_IO_TIME_PER_PAGE,
+    pages_for_records,
+)
+from repro.cost.model import CHOOSE_PLAN_OVERHEAD_SECONDS, CostResult
+
+#: Leaf capacity assumed by the cost model for B-tree indexes.
+BTREE_COST_FANOUT = 32
+
+#: Per-page time for partition spill I/O.  Partition files are written
+#: and re-read in runs, so the per-page time sits between the pure
+#: sequential and pure random rates; large enough that losing memory at
+#: run time genuinely changes which join strategy wins.
+SPILL_IO_TIME_PER_PAGE = 0.005
+
+
+def lru_page_faults(record_count, page_count, buffer_pages):
+    """Expected page faults fetching ``record_count`` random records.
+
+    The finite-LRU refinement of Mackert and Lohman ([MaL89], cited by
+    the paper): the Cardenas estimate gives the distinct pages touched,
+    ``Y = P (1 - (1 - 1/P)^k)``; while they fit in the buffer each
+    faults once, afterwards accesses miss with probability
+    ``1 - B/P``.  Monotone increasing in ``record_count`` and
+    decreasing in ``buffer_pages``, so interval evaluation at the
+    corners stays exact.
+    """
+    if record_count <= 0 or page_count <= 0:
+        return 0.0
+    per_access_hit = 1.0 / page_count
+    distinct = page_count * (1.0 - (1.0 - per_access_hit) ** record_count)
+    if distinct <= buffer_pages or buffer_pages >= page_count:
+        return distinct
+    # Accesses needed to touch ``buffer_pages`` distinct pages:
+    fill_accesses = math.log(1.0 - buffer_pages / page_count) / math.log(
+        1.0 - per_access_hit
+    )
+    remaining = max(0.0, record_count - fill_accesses)
+    return buffer_pages + remaining * (1.0 - buffer_pages / page_count)
+
+
+def btree_height(cardinality):
+    """Estimated root-to-leaf page count of a B-tree index."""
+    if cardinality <= 1:
+        return 1
+    return 1 + max(1, math.ceil(math.log(cardinality, BTREE_COST_FANOUT)))
+
+
+def btree_leaf_pages(cardinality):
+    """Estimated leaf-page count of a B-tree index."""
+    return max(1, math.ceil(cardinality / BTREE_COST_FANOUT))
+
+
+def _corners(fn, *args):
+    """Exact interval image of a monotone scalar function.
+
+    ``args`` are ``(interval, increasing)`` pairs; the lower corner
+    uses each interval's lower bound when the function increases in
+    that argument and the upper bound otherwise.
+    """
+    lows = []
+    highs = []
+    for interval, increasing in args:
+        if increasing:
+            lows.append(interval.lower)
+            highs.append(interval.upper)
+        else:
+            lows.append(interval.upper)
+            highs.append(interval.lower)
+    lower = fn(*lows)
+    upper = fn(*highs)
+    if upper < lower:  # numeric noise in non-strictly-monotone corners
+        lower, upper = upper, lower
+    return Interval(lower, upper)
+
+
+def _split_attribute(qualified):
+    """Split ``R.a`` into ``("R", "a")``."""
+    if "." not in qualified:
+        raise PlanError("join attributes must be qualified, got %r" % qualified)
+    relation, attribute = qualified.split(".", 1)
+    return relation, attribute
+
+
+class CostModel:
+    """Evaluates cost, cardinality, and sort order over a plan DAG."""
+
+    def __init__(
+        self,
+        catalog,
+        valuation,
+        choose_plan_overhead=CHOOSE_PLAN_OVERHEAD_SECONDS,
+        buffer_aware=False,
+    ):
+        self.catalog = catalog
+        self.valuation = valuation
+        self.choose_plan_overhead = choose_plan_overhead
+        #: apply the [MaL89] finite-LRU refinement to record fetches
+        self.buffer_aware = bool(buffer_aware)
+        #: Number of cost-function evaluations performed (cache misses).
+        self.evaluations = 0
+        self._cache = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def evaluate(self, plan):
+        """The :class:`CostResult` of a plan, memoized per node object.
+
+        Shared subplans of the DAG are evaluated exactly once, which is
+        the start-up-time optimization the paper relies on: "the
+        dynamic plan is stored as a DAG ... and the cost of shared
+        subexpressions is computed only once".
+        """
+        cached = self._cache.get(id(plan))
+        if cached is not None:
+            # The cache pins the plan object, so the id cannot have
+            # been recycled by the allocator.
+            return cached[1]
+        result = self._dispatch(plan)
+        self._cache[id(plan)] = (plan, result)
+        self.evaluations += 1
+        return result
+
+    def invalidate(self):
+        """Drop all cached results (after changing the valuation)."""
+        self._cache.clear()
+
+    def join_selectivity(self, predicates):
+        """Selectivity of a conjunction of equi-join predicates.
+
+        Per the paper: each predicate contributes one over the larger
+        of the two join-attribute domain sizes; known at compile time.
+        """
+        selectivity = 1.0
+        for predicate in predicates:
+            left_rel, left_attr = _split_attribute(predicate.left_attribute)
+            right_rel, right_attr = _split_attribute(predicate.right_attribute)
+            left_domain = self.catalog.domain_size(left_rel, left_attr)
+            right_domain = self.catalog.domain_size(right_rel, right_attr)
+            selectivity /= max(left_domain, right_domain)
+        return selectivity
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, plan):
+        if isinstance(plan, FileScan):
+            return self._file_scan(plan)
+        if isinstance(plan, BTreeScan):
+            return self._btree_scan(plan)
+        if isinstance(plan, FilterBTreeScan):
+            return self._filter_btree_scan(plan)
+        if isinstance(plan, Filter):
+            return self._filter(plan)
+        if isinstance(plan, HashJoin):
+            return self._hash_join(plan)
+        if isinstance(plan, MergeJoin):
+            return self._merge_join(plan)
+        if isinstance(plan, IndexJoin):
+            return self._index_join(plan)
+        if isinstance(plan, Sort):
+            return self._sort(plan)
+        if isinstance(plan, Project):
+            child = self.evaluate(plan.input)
+            local = child.cardinality.scale(CPU_COST_WEIGHT)
+            return CostResult(
+                child.cost + local, child.cardinality, child.sort_orders
+            )
+        if isinstance(plan, ChoosePlan):
+            return self._choose_plan(plan)
+        if isinstance(plan, Materialized):
+            # A run-time temporary: its production cost is sunk and its
+            # cardinality is *observed*, not estimated (paper Section 7).
+            return CostResult(
+                Interval.zero(),
+                Interval.point(plan.observed_cardinality),
+                frozenset(),
+            )
+        raise PlanError("no cost formula for operator %r" % plan)
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def _file_scan(self, plan):
+        cardinality = self.catalog.cardinality(plan.relation_name)
+        pages = pages_for_records(cardinality)
+        cost = pages * SEQ_IO_TIME_PER_PAGE + cardinality * CPU_COST_WEIGHT
+        return CostResult(
+            Interval.point(cost),
+            Interval.point(cardinality),
+            frozenset(),
+        )
+
+    def _btree_scan(self, plan):
+        cardinality = self.catalog.cardinality(plan.relation_name)
+        height = btree_height(cardinality)
+        leaves = btree_leaf_pages(cardinality)
+        heap_pages = pages_for_records(cardinality)
+        memory = self.valuation.memory_pages()
+        # Unclustered: the descent and leaf chain are cheap, but every
+        # record costs one random heap-page fetch (a fault, when the
+        # buffer-aware refinement is active).
+
+        clustered = self._index_is_clustered(
+            plan.relation_name, plan.attribute
+        )
+
+        def formula(memory_pages):
+            fetch_io = self._fetch_io_seconds(
+                cardinality, heap_pages, memory_pages, clustered
+            )
+            return (
+                height * IO_TIME_PER_PAGE
+                + leaves * SEQ_IO_TIME_PER_PAGE
+                + fetch_io
+                + cardinality * CPU_COST_WEIGHT
+            )
+
+        cost = _corners(formula, (memory, False))
+        order = "%s.%s" % (plan.relation_name, plan.attribute)
+        return CostResult(
+            cost,
+            Interval.point(cardinality),
+            frozenset((order,)),
+        )
+
+    def _fetch_faults(self, record_count, heap_pages, memory_pages):
+        """I/O faults for random record fetches, buffer-aware or not."""
+        if not self.buffer_aware:
+            return record_count
+        return lru_page_faults(record_count, heap_pages, memory_pages)
+
+    def _fetch_io_seconds(self, record_count, heap_pages, memory_pages,
+                          clustered):
+        """I/O seconds to fetch ``record_count`` index-qualified records.
+
+        Clustered indexes read the matching records' adjacent pages
+        sequentially; unclustered indexes pay one random fault per
+        record (or the [MaL89] estimate when buffer-aware).
+        """
+        if clustered:
+            pages = record_count / RECORDS_PER_PAGE
+            return pages * SEQ_IO_TIME_PER_PAGE
+        faults = self._fetch_faults(record_count, heap_pages, memory_pages)
+        return faults * IO_TIME_PER_PAGE
+
+    def _index_is_clustered(self, relation_name, attribute):
+        index_info = self.catalog.index_on(relation_name, attribute)
+        return index_info is not None and index_info.clustered
+
+    def _filter_btree_scan(self, plan):
+        cardinality = self.catalog.cardinality(plan.relation_name)
+        selectivity = self.valuation.selectivity(plan.predicate)
+        height = btree_height(cardinality)
+        leaves = btree_leaf_pages(cardinality)
+        heap_pages = pages_for_records(cardinality)
+        memory = self.valuation.memory_pages()
+
+        clustered = self._index_is_clustered(
+            plan.relation_name, plan.attribute
+        )
+
+        def formula(s, memory_pages):
+            matches = s * cardinality
+            fetch_io = self._fetch_io_seconds(
+                matches, heap_pages, memory_pages, clustered
+            )
+            return (
+                height * IO_TIME_PER_PAGE
+                + s * leaves * SEQ_IO_TIME_PER_PAGE
+                + fetch_io
+                + matches * CPU_COST_WEIGHT
+            )
+
+        cost = _corners(formula, (selectivity, True), (memory, False))
+        out_cardinality = selectivity.scale(cardinality)
+        order = "%s.%s" % (plan.relation_name, plan.attribute)
+        return CostResult(cost, out_cardinality, frozenset((order,)))
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def _filter(self, plan):
+        child = self.evaluate(plan.input)
+        selectivity = self.valuation.selectivity(plan.predicate)
+        local = child.cardinality.scale(CPU_COST_WEIGHT)
+        cost = child.cost + local
+        out_cardinality = child.cardinality * selectivity
+        return CostResult(cost, out_cardinality, child.sort_orders)
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _hash_join(self, plan):
+        build = self.evaluate(plan.build)
+        probe = self.evaluate(plan.probe)
+        join_sel = self.join_selectivity(plan.predicates)
+        memory = self.valuation.memory_pages()
+
+        def formula(build_card, probe_card, memory_pages):
+            build_pages = pages_for_records(build_card)
+            probe_pages = pages_for_records(probe_card)
+            output = build_card * probe_card * join_sel
+            cpu = (
+                build_card * 2.0 * CPU_COST_WEIGHT
+                + probe_card * 2.0 * CPU_COST_WEIGHT
+                + output * CPU_COST_WEIGHT
+            )
+            if build_pages <= memory_pages or build_pages == 0:
+                spill_fraction = 0.0
+            else:
+                spill_fraction = 1.0 - memory_pages / build_pages
+            io = (
+                2.0
+                * spill_fraction
+                * (build_pages + probe_pages)
+                * SPILL_IO_TIME_PER_PAGE
+            )
+            return cpu + io
+
+        local = _corners(
+            formula,
+            (build.cardinality, True),
+            (probe.cardinality, True),
+            (memory, False),
+        )
+        cost = build.cost + probe.cost + local
+        out_cardinality = (build.cardinality * probe.cardinality).scale(join_sel)
+        # Hash join scrambles any input order.
+        return CostResult(cost, out_cardinality, frozenset())
+
+    def _merge_join(self, plan):
+        left = self.evaluate(plan.left)
+        right = self.evaluate(plan.right)
+        join_sel = self.join_selectivity(plan.predicates)
+
+        def formula(left_card, right_card):
+            output = left_card * right_card * join_sel
+            return (
+                (left_card + right_card) * 1.5 * CPU_COST_WEIGHT
+                + output * CPU_COST_WEIGHT
+            )
+
+        local = _corners(
+            formula, (left.cardinality, True), (right.cardinality, True)
+        )
+        cost = left.cost + right.cost + local
+        out_cardinality = (left.cardinality * right.cardinality).scale(join_sel)
+        primary = plan.predicates[0]
+        orders = frozenset((primary.left_attribute, primary.right_attribute))
+        return CostResult(cost, out_cardinality, orders)
+
+    def _index_join(self, plan):
+        outer = self.evaluate(plan.outer)
+        inner_cardinality = self.catalog.cardinality(plan.inner_relation)
+        join_sel = self.join_selectivity(plan.predicates)
+        height = btree_height(inner_cardinality)
+        matches_per_probe = inner_cardinality * join_sel
+        if plan.residual_predicate is not None:
+            residual = self.valuation.selectivity(plan.residual_predicate)
+        else:
+            residual = Interval.point(1.0)
+
+        inner_pages = pages_for_records(inner_cardinality)
+        memory = self.valuation.memory_pages()
+        clustered = self._index_is_clustered(
+            plan.inner_relation, plan.inner_attribute
+        )
+
+        def formula(outer_card, residual_sel, memory_pages):
+            fetched = outer_card * matches_per_probe
+            fetch_io = self._fetch_io_seconds(
+                fetched, inner_pages, memory_pages, clustered
+            )
+            io = (
+                outer_card * height * IO_TIME_PER_PAGE
+                + fetch_io
+            )
+            cpu = (
+                outer_card * CPU_COST_WEIGHT
+                + fetched * CPU_COST_WEIGHT
+                + fetched * residual_sel * CPU_COST_WEIGHT
+            )
+            return io + cpu
+
+        local = _corners(
+            formula,
+            (outer.cardinality, True),
+            (residual, True),
+            (memory, False),
+        )
+        cost = outer.cost + local
+        out_cardinality = (
+            outer.cardinality.scale(matches_per_probe) * residual
+        )
+        return CostResult(cost, out_cardinality, outer.sort_orders)
+
+    # ------------------------------------------------------------------
+    # Enforcers
+    # ------------------------------------------------------------------
+
+    def _sort(self, plan):
+        child = self.evaluate(plan.input)
+        memory = self.valuation.memory_pages()
+
+        def formula(card, memory_pages):
+            if card <= 1:
+                return CPU_COST_WEIGHT
+            pages = pages_for_records(card)
+            cpu = card * math.log(card, 2) * CPU_COST_WEIGHT
+            if pages <= memory_pages:
+                return cpu
+            # External merge sort: one partition pass plus merge passes.
+            run_count = pages / max(memory_pages, 2.0)
+            merge_passes = max(
+                1, math.ceil(math.log(run_count, max(memory_pages - 1, 2)))
+            )
+            io = 2.0 * pages * merge_passes * SPILL_IO_TIME_PER_PAGE
+            return cpu + io
+
+        local = _corners(formula, (child.cardinality, True), (memory, False))
+        cost = child.cost + local
+        return CostResult(cost, child.cardinality, frozenset((plan.attribute,)))
+
+    def _choose_plan(self, plan):
+        results = [self.evaluate(alternative) for alternative in plan.alternatives]
+        envelope = Interval.envelope_min([result.cost for result in results])
+        cost = envelope + Interval.point(self.choose_plan_overhead)
+        cardinality = Interval.hull([result.cardinality for result in results])
+        orders = frozenset.intersection(
+            *[result.sort_orders for result in results]
+        )
+        return CostResult(cost, cardinality, orders)

@@ -1,0 +1,38 @@
+"""The execution engine: Volcano-style iterators, access modules, and
+start-up-time machinery.
+
+The choose-plan operator — the run-time primitive of the 1989 paper —
+lives here: at plan activation its decision procedure re-evaluates the
+alternatives' cost functions under the instantiated bindings (with
+DAG-shared subplan costs computed once) and executes the cheapest
+alternative.
+"""
+
+from repro.executor.access_module import AccessModule
+from repro.executor.adaptive import (
+    AdaptiveExecutor,
+    AdaptiveReport,
+    execute_adaptively,
+)
+from repro.executor.engine import ExecutionContext, ExecutionResult, execute_plan
+from repro.executor.plan_store import PlanStore
+from repro.executor.shrinking import ShrinkingAccessModule
+from repro.executor.startup import StartupReport, activate_plan, resolve_dynamic_plan
+from repro.executor.validation import node_is_feasible, validate_plan
+
+__all__ = [
+    "AccessModule",
+    "AdaptiveExecutor",
+    "AdaptiveReport",
+    "ExecutionContext",
+    "ExecutionResult",
+    "PlanStore",
+    "ShrinkingAccessModule",
+    "StartupReport",
+    "activate_plan",
+    "execute_adaptively",
+    "execute_plan",
+    "node_is_feasible",
+    "resolve_dynamic_plan",
+    "validate_plan",
+]

@@ -1,0 +1,120 @@
+"""Plan execution: contexts, results, and the ``execute_plan`` entry.
+
+Execution works on *any* physical plan: static plans run directly;
+dynamic plans make their choose-plan decisions at open time through
+the context's run-time cost model, exactly as in the paper's start-up
+architecture.
+"""
+
+import time
+
+from repro.common.errors import ExecutionError
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import (
+    Bindings,
+    MEMORY_PARAMETER,
+    ParameterSpace,
+    Valuation,
+)
+from repro.executor.iterators import build_iterator
+
+
+class ExecutionContext:
+    """Everything iterators need: data, bindings, and a cost model."""
+
+    def __init__(self, database, bindings=None, parameter_space=None,
+                 use_buffer_pool=False):
+        self.database = database
+        self.bindings = bindings if bindings is not None else Bindings()
+        self.parameter_space = (
+            parameter_space if parameter_space is not None else ParameterSpace()
+        )
+        self._cost_model = None
+        #: choose-plan decisions made during this execution:
+        #: list of (choose_plan_node, chosen_alternative)
+        self.decisions = []
+        if use_buffer_pool:
+            from repro.storage.buffer import BufferPool
+
+            #: LRU pool sized by the run-time memory grant ([MaL89]).
+            self.buffer_pool = BufferPool(self.memory_pages)
+        else:
+            self.buffer_pool = None
+
+    @property
+    def io_stats(self):
+        """The database's shared I/O accounting."""
+        return self.database.io_stats
+
+    @property
+    def memory_pages(self):
+        """Memory available to hash joins and sorts, in pages."""
+        if self.bindings.has_parameter(MEMORY_PARAMETER):
+            return int(self.bindings.parameter(MEMORY_PARAMETER))
+        if MEMORY_PARAMETER in self.parameter_space:
+            return int(self.parameter_space.get(MEMORY_PARAMETER).expected)
+        return 64
+
+    @property
+    def cost_model(self):
+        """Memoizing cost model under the run-time valuation (lazy)."""
+        if self._cost_model is None:
+            valuation = Valuation.runtime(self.parameter_space, self.bindings)
+            self._cost_model = CostModel(self.database.catalog, valuation)
+        return self._cost_model
+
+    def record_decision(self, choose_plan_node, chosen):
+        """Log a choose-plan decision (used by plan shrinking)."""
+        self.decisions.append((choose_plan_node, chosen))
+
+
+class ExecutionResult:
+    """Records produced plus the accounting of the run."""
+
+    def __init__(self, records, io_snapshot, decisions, elapsed_seconds):
+        self.records = records
+        self.io_snapshot = io_snapshot
+        self.decisions = decisions
+        self.elapsed_seconds = elapsed_seconds
+
+    @property
+    def row_count(self):
+        """Number of result records."""
+        return len(self.records)
+
+    def simulated_seconds(self):
+        """Fold the I/O counters into simulated seconds."""
+        from repro.common.units import CPU_COST_WEIGHT, IO_TIME_PER_PAGE
+
+        pages = self.io_snapshot["pages_read"] + self.io_snapshot["pages_written"]
+        return (
+            pages * IO_TIME_PER_PAGE
+            + self.io_snapshot["records_processed"] * CPU_COST_WEIGHT
+        )
+
+    def __repr__(self):
+        return "ExecutionResult(%d rows, io=%r)" % (self.row_count, self.io_snapshot)
+
+
+def execute_plan(plan, database, bindings=None, parameter_space=None,
+                 use_buffer_pool=False):
+    """Run a physical plan to completion and return the result.
+
+    Unbound user variables in predicates raise
+    :class:`~repro.common.errors.ExecutionError`; supply them via
+    ``bindings``.  With ``use_buffer_pool=True`` heap-page accesses go
+    through an LRU pool sized by the memory grant, so repeated fetches
+    of hot pages cost no I/O (the [MaL89] refinement).
+    """
+    if plan is None:
+        raise ExecutionError("cannot execute an empty plan")
+    context = ExecutionContext(database, bindings, parameter_space,
+                               use_buffer_pool=use_buffer_pool)
+    before = context.io_stats.snapshot()
+    started = time.perf_counter()
+    iterator = build_iterator(plan, context)
+    records = list(iterator)
+    elapsed = time.perf_counter() - started
+    after = context.io_stats.snapshot()
+    delta = {key: after[key] - before[key] for key in after}
+    return ExecutionResult(records, delta, list(context.decisions), elapsed)

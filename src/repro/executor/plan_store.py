@@ -1,0 +1,105 @@
+"""A persistent store of compiled access modules.
+
+Production systems with compile-time optimization keep access modules
+on disk between invocations ([CAK81]); this store models that library:
+compile once with :meth:`PlanStore.compile`, then across process
+restarts :meth:`PlanStore.activate` loads the stored module, validates
+it against the current catalogs, and runs the choose-plan decision
+procedures.
+"""
+
+import os
+
+from repro.common.errors import ExecutionError
+from repro.executor.access_module import AccessModule
+from repro.executor.startup import activate_plan
+
+
+class PlanStore:
+    """Directory-backed library of serialized plans, keyed by name."""
+
+    SUFFIX = ".plan.json"
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, query_name):
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_" else "_" for ch in query_name
+        )
+        return os.path.join(self.directory, safe + self.SUFFIX)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def store(self, plan, query_name):
+        """Serialize and persist a plan; returns the module."""
+        module = AccessModule.from_plan(plan, query_name)
+        with open(self._path(query_name), "wb") as handle:
+            handle.write(module.to_bytes())
+        return module
+
+    def compile(self, catalog, query, optimize=None):
+        """Optimize a query and persist the resulting dynamic plan."""
+        if optimize is None:
+            from repro.optimizer.optimizer import optimize_dynamic
+
+            optimize = optimize_dynamic
+        result = optimize(catalog, query)
+        self.store(result.plan, query.name)
+        return result
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self, query_name):
+        """Load a stored access module by query name."""
+        path = self._path(query_name)
+        if not os.path.exists(path):
+            raise ExecutionError(
+                "no stored plan for query %r (looked in %s)"
+                % (query_name, self.directory)
+            )
+        with open(path, "rb") as handle:
+            return AccessModule.from_bytes(handle.read())
+
+    def activate(self, query_name, catalog, parameter_space, bindings,
+                 **activate_kwargs):
+        """Load, validate, and resolve a stored plan for one invocation.
+
+        Returns ``(static_plan, startup_report)`` exactly like
+        :func:`~repro.executor.startup.activate_plan`.
+        """
+        module = self.load(query_name)
+        plan = module.materialize()
+        return activate_plan(
+            plan, catalog, parameter_space, bindings, **activate_kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def names(self):
+        """Names of all stored plans."""
+        names = []
+        for entry in sorted(os.listdir(self.directory)):
+            if entry.endswith(self.SUFFIX):
+                names.append(entry[: -len(self.SUFFIX)])
+        return names
+
+    def contains(self, query_name):
+        """Whether a plan is stored under the name."""
+        return os.path.exists(self._path(query_name))
+
+    def remove(self, query_name):
+        """Delete a stored plan (missing names are ignored)."""
+        path = self._path(query_name)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def __repr__(self):
+        return "PlanStore(%r, %d plans)" % (self.directory, len(self.names()))

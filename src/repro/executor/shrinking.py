@@ -1,0 +1,158 @@
+"""Plan shrinking: the self-replacing access module of Section 4.
+
+"During each invocation, the access module keeps statistics indicating
+which components of the dynamic plan were actually used.  After a
+number of invocations, say 100, the access module ... replaces itself
+with a dynamic-plan access module that contains only those components
+that have been used before."
+
+The paper leaves the analysis of this heuristic to later research; we
+implement it as an optional wrapper so its size/robustness trade-off
+can be measured (see ``benchmarks/bench_shrinking.py``).
+"""
+
+from repro.algebra.physical import (
+    ChoosePlan,
+    Filter,
+    HashJoin,
+    IndexJoin,
+    MergeJoin,
+    Project,
+    Sort,
+)
+from repro.executor.access_module import AccessModule
+from repro.executor.startup import resolve_dynamic_plan
+
+
+class ShrinkingAccessModule:
+    """An access module that drops never-chosen alternatives over time.
+
+    ``shrink_after`` invocations trigger self-replacement; statistics
+    are kept per choose-plan node (by plan signature, so they survive
+    re-materialization of the module).
+    """
+
+    def __init__(self, plan, catalog, parameter_space, query_name="query",
+                 shrink_after=100):
+        self.catalog = catalog
+        self.parameter_space = parameter_space
+        self.query_name = query_name
+        self.shrink_after = int(shrink_after)
+        self.module = AccessModule.from_plan(plan, query_name)
+        self.invocations_since_shrink = 0
+        self.total_invocations = 0
+        self.shrink_count = 0
+        #: choose-plan signature -> set of chosen-alternative signatures
+        self._usage = {}
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+
+    def activate(self, bindings):
+        """One invocation: resolve decisions, record usage, maybe shrink.
+
+        Returns ``(chosen_static_plan, startup_report)``.
+        """
+        plan = self.module.materialize()
+        chosen, report = self._resolve_and_record(plan, bindings)
+        self.invocations_since_shrink += 1
+        self.total_invocations += 1
+        if self.invocations_since_shrink >= self.shrink_after:
+            self.shrink()
+        return chosen, report
+
+    def _resolve_and_record(self, plan, bindings):
+        chosen, report = resolve_dynamic_plan(
+            plan, self.catalog, self.parameter_space, bindings
+        )
+        # The resolution pass logged exactly which alternative each
+        # choose-plan node picked; remember them by signature so the
+        # statistics survive re-materialization of the module.
+        for choose_node, alternative in report.choices:
+            usage = self._usage.setdefault(choose_node.signature(), set())
+            usage.add(alternative.signature())
+        return chosen, report
+
+    # ------------------------------------------------------------------
+    # Shrinking
+    # ------------------------------------------------------------------
+
+    def shrink(self):
+        """Replace the module with one containing only used components.
+
+        Choose-plan nodes left with a single used alternative collapse
+        to that alternative; nodes with several used alternatives stay
+        dynamic.  This is deliberately heuristic: an alternative that
+        was never optimal so far may still be optimal for future
+        bindings (the trade-off the paper points out).
+        """
+        plan = self.module.materialize()
+        rebuilt = self._shrink_node(plan, {})
+        self.module = AccessModule.from_plan(rebuilt, self.query_name)
+        self.invocations_since_shrink = 0
+        self.shrink_count += 1
+        return self.module
+
+    def _shrink_node(self, node, cache):
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached[1]
+        if isinstance(node, ChoosePlan):
+            used_signatures = self._usage.get(node.signature())
+            if used_signatures:
+                survivors = [
+                    alternative
+                    for alternative in node.alternatives
+                    if alternative.signature() in used_signatures
+                ]
+            else:
+                survivors = list(node.alternatives)
+            survivors = [self._shrink_node(s, cache) for s in survivors]
+            if len(survivors) == 1:
+                result = survivors[0]
+            else:
+                result = ChoosePlan(survivors)
+        else:
+            children = [self._shrink_node(child, cache) for child in node.inputs()]
+            result = _copy_onto(node, children)
+        cache[id(node)] = (node, result)
+        return result
+
+    @property
+    def node_count(self):
+        """Current module size in operator nodes."""
+        return self.module.node_count
+
+    def __repr__(self):
+        return "ShrinkingAccessModule(%s, %d nodes, %d shrinks)" % (
+            self.query_name,
+            self.node_count,
+            self.shrink_count,
+        )
+
+
+def _copy_onto(node, children):
+    """Rebuild a non-choose node over (possibly) new children."""
+    old = list(node.inputs())
+    if all(new is previous for new, previous in zip(children, old)):
+        return node
+    if isinstance(node, Filter):
+        return Filter(children[0], node.predicate)
+    if isinstance(node, HashJoin):
+        return HashJoin(children[0], children[1], node.predicates)
+    if isinstance(node, MergeJoin):
+        return MergeJoin(children[0], children[1], node.predicates)
+    if isinstance(node, IndexJoin):
+        return IndexJoin(
+            children[0],
+            node.inner_relation,
+            node.inner_attribute,
+            node.predicates,
+            residual_predicate=node.residual_predicate,
+        )
+    if isinstance(node, Sort):
+        return Sort(children[0], node.attribute)
+    if isinstance(node, Project):
+        return Project(children[0], node.attributes)
+    return node

@@ -1,0 +1,218 @@
+"""Start-up-time machinery: plan activation and choose-plan decisions.
+
+The paper's start-up sequence (Sections 4 and 6) for a dynamic plan:
+
+1. read the access module (I/O proportional to its node count) and
+   validate it against the catalogs — a flat 0.1 s either way;
+2. evaluate every choose-plan decision procedure: re-evaluate the
+   alternatives' original cost functions under the instantiated
+   run-time bindings, with DAG-shared subplans costed only once;
+3. execute the chosen, now fully static, plan.
+
+:func:`resolve_dynamic_plan` implements step 2 and returns the chosen
+static plan; :func:`activate_plan` wraps steps 1-2 and reports the
+measured CPU time and modelled I/O time, the quantities of Figure 7.
+"""
+
+import time
+
+from repro.algebra.physical import (
+    ChoosePlan,
+    Filter,
+    HashJoin,
+    IndexJoin,
+    MergeJoin,
+    Project,
+    Sort,
+)
+from repro.common.units import (
+    CATALOG_VALIDATION_SECONDS,
+    access_module_read_seconds,
+)
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import Valuation
+
+
+class StartupReport:
+    """Accounting of one plan activation."""
+
+    def __init__(
+        self,
+        decisions,
+        cost_evaluations,
+        cpu_seconds,
+        io_seconds,
+        node_count,
+        pruned_alternatives=0,
+        choices=(),
+    ):
+        self.decisions = decisions
+        self.cost_evaluations = cost_evaluations
+        self.cpu_seconds = cpu_seconds
+        self.io_seconds = io_seconds
+        self.node_count = node_count
+        self.pruned_alternatives = pruned_alternatives
+        #: (choose_plan_node, chosen_original_alternative) pairs
+        self.choices = list(choices)
+
+    @property
+    def total_seconds(self):
+        """Catalog validation + module I/O + decision CPU (time ``f``)."""
+        return CATALOG_VALIDATION_SECONDS + self.io_seconds + self.cpu_seconds
+
+    def __repr__(self):
+        return (
+            "StartupReport(decisions=%d, evals=%d, cpu=%.4fs, io=%.4fs)"
+            % (
+                self.decisions,
+                self.cost_evaluations,
+                self.cpu_seconds,
+                self.io_seconds,
+            )
+        )
+
+
+def resolve_dynamic_plan(
+    plan, catalog, parameter_space, bindings, branch_and_bound=False
+):
+    """Resolve every choose-plan in a dynamic plan under bindings.
+
+    Returns ``(static_plan, report)``.  The shared cost model caches
+    each subplan's cost, so shared subexpressions are evaluated once.
+    With ``branch_and_bound=True`` (the paper's proposed-but-not-
+    implemented start-up optimization, our extension) alternatives
+    whose accumulated input cost already exceeds the best alternative
+    found so far are abandoned early.
+    """
+    valuation = Valuation.runtime(parameter_space, bindings)
+    cost_model = CostModel(catalog, valuation)
+    resolved_cache = {}
+    decision_count = 0
+    pruned = 0
+    choices = []
+    started = time.perf_counter()
+
+    def resolve(node):
+        nonlocal decision_count, pruned
+        cached = resolved_cache.get(id(node))
+        if cached is not None:
+            return cached[1]
+        if isinstance(node, ChoosePlan):
+            # Decide on the *resolved* alternatives: nested choose-plan
+            # decision overhead is paid for the whole DAG during this
+            # very pass, so it must not bias the comparison (branches
+            # contain different numbers of choose-plan operators).
+            decision_count += 1
+            best_plan = None
+            best_original = None
+            best_cost = None
+            for alternative in node.alternatives:
+                if branch_and_bound and best_cost is not None:
+                    partial = _partial_lower_bound(
+                        alternative, resolved_cache, cost_model, best_cost
+                    )
+                    if partial > best_cost:
+                        pruned += 1
+                        continue
+                resolved_alternative = resolve(alternative)
+                cost = cost_model.evaluate(resolved_alternative).cost.lower
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_plan = resolved_alternative
+                    best_original = alternative
+            choices.append((node, best_original))
+            result = best_plan
+        else:
+            result = _rebuild(node, [resolve(child) for child in node.inputs()])
+        resolved_cache[id(node)] = (node, result)
+        return result
+
+    chosen = resolve(plan)
+    cpu_seconds = time.perf_counter() - started
+    report = StartupReport(
+        decisions=decision_count,
+        cost_evaluations=cost_model.evaluations,
+        cpu_seconds=cpu_seconds,
+        io_seconds=access_module_read_seconds(plan.node_count()),
+        node_count=plan.node_count(),
+        pruned_alternatives=pruned,
+        choices=choices,
+    )
+    return chosen, report
+
+
+def _partial_lower_bound(plan, resolved_cache, cost_model, bound):
+    """Cheap lower bound on a plan's cost: its already-resolved inputs.
+
+    Only inputs whose resolved form and cost are both cached are
+    summed, so the check itself does no new cost-function work.
+    """
+    total = 0.0
+    for child in plan.inputs():
+        resolved = resolved_cache.get(id(child))
+        if resolved is None:
+            continue
+        cached = cost_model._cache.get(id(resolved[1]))
+        if cached is not None:
+            total += cached[1].cost.lower
+            if total > bound:
+                break
+    return total
+
+
+def _rebuild(node, new_children):
+    """Copy a node onto resolved children (identity when unchanged)."""
+    old_children = list(node.inputs())
+    if all(new is old for new, old in zip(new_children, old_children)):
+        return node
+    if isinstance(node, Filter):
+        return Filter(new_children[0], node.predicate)
+    if isinstance(node, HashJoin):
+        return HashJoin(new_children[0], new_children[1], node.predicates)
+    if isinstance(node, MergeJoin):
+        return MergeJoin(new_children[0], new_children[1], node.predicates)
+    if isinstance(node, IndexJoin):
+        return IndexJoin(
+            new_children[0],
+            node.inner_relation,
+            node.inner_attribute,
+            node.predicates,
+            residual_predicate=node.residual_predicate,
+        )
+    if isinstance(node, Sort):
+        return Sort(new_children[0], node.attribute)
+    if isinstance(node, Project):
+        return Project(new_children[0], node.attributes)
+    # Leaves have no children and always hit the identity path above.
+    return node
+
+
+def activate_plan(
+    plan, catalog, parameter_space, bindings, branch_and_bound=False,
+    validate=True,
+):
+    """Activate a plan as the execution engine would at start-up time.
+
+    Performs catalog validation first ([CAK81]): a static plan whose
+    structures vanished raises
+    :class:`~repro.common.errors.InfeasiblePlanError`, while a dynamic
+    plan merely loses the infeasible alternatives.  Then, for a static
+    plan this charges only the module read; for a dynamic plan it also
+    runs the decision procedures.  Returns ``(static_plan, report)``.
+    """
+    if validate:
+        from repro.executor.validation import validate_plan
+
+        plan = validate_plan(plan, catalog)
+    if plan.choose_plan_count() == 0:
+        report = StartupReport(
+            decisions=0,
+            cost_evaluations=0,
+            cpu_seconds=0.0,
+            io_seconds=access_module_read_seconds(plan.node_count()),
+            node_count=plan.node_count(),
+        )
+        return plan, report
+    return resolve_dynamic_plan(
+        plan, catalog, parameter_space, bindings, branch_and_bound
+    )

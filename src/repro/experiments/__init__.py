@@ -1,0 +1,36 @@
+"""Experiment harness: regenerate every table and figure of Section 6.
+
+Each ``figure*`` function returns a :class:`~repro.experiments.results.
+FigureResult` holding the paper's series; :mod:`~repro.experiments.
+report` renders them as text tables, and :mod:`~repro.experiments.
+runner` executes the full evaluation in one call (used by the
+benchmarks and by ``python -m repro.experiments.runner``).
+"""
+
+from repro.experiments.figures import (
+    figure3_scenarios,
+    figure4_execution_times,
+    figure5_optimization_times,
+    figure6_plan_sizes,
+    figure7_startup_times,
+    figure8_runtime_vs_dynamic,
+    table1_algebra,
+)
+from repro.experiments.results import ExperimentSettings, FigureResult
+from repro.experiments.report import render_figure, render_report
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "ExperimentSettings",
+    "FigureResult",
+    "figure3_scenarios",
+    "figure4_execution_times",
+    "figure5_optimization_times",
+    "figure6_plan_sizes",
+    "figure7_startup_times",
+    "figure8_runtime_vs_dynamic",
+    "render_figure",
+    "render_report",
+    "run_all_experiments",
+    "table1_algebra",
+]

@@ -1,0 +1,152 @@
+"""Text rendering of reproduced figures.
+
+The renderer prints each figure as a table with one row per query and
+one column per series — the same rows/series the paper plots — plus
+the paper's claim, so paper-vs-measured comparison is immediate.
+"""
+
+
+def _format_value(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return "%.5f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def render_figure(figure):
+    """Render one :class:`FigureResult` as a text block."""
+    lines = []
+    lines.append("=" * 72)
+    lines.append("%s — %s" % (figure.figure_id.upper(), figure.title))
+    lines.append("paper: %s" % figure.paper_claim)
+    lines.append("-" * 72)
+
+    series_names = list(figure.series)
+    # Row keys: (query, uncertain variables), ordered by appearance.
+    rows = []
+    seen = set()
+    for name in series_names:
+        for point in figure.points(name):
+            key = (point["query"], point["uncertain_variables"])
+            if key not in seen:
+                seen.add(key)
+                rows.append(key)
+
+    header = ["query", "#unc"] + series_names
+    widths = [max(10, len(h)) for h in header]
+    table = []
+    for query, uncertain in rows:
+        row = [query, str(uncertain)]
+        for name in series_names:
+            value = "-"
+            for point in figure.points(name):
+                if point["query"] == query:
+                    value = _format_value(point["value"])
+                    break
+            row.append(value)
+        table.append(row)
+    for row in table + [header]:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines.append(fmt(header))
+    for row in table:
+        lines.append(fmt(row))
+    for note in figure.notes:
+        lines.append("note: %s" % note)
+    return "\n".join(lines)
+
+
+def render_table1(table):
+    """Render the Table 1 algebra mapping."""
+    lines = []
+    lines.append("=" * 72)
+    lines.append("TABLE 1 — Logical and Physical Algebra Operators")
+    lines.append("-" * 72)
+    width = max(len(name) for name in table)
+    for logical, algorithms in table.items():
+        lines.append("%s  %s" % (logical.ljust(width), ", ".join(algorithms)))
+    return "\n".join(lines)
+
+
+def render_report(figures, table1=None, settings=None):
+    """Render a full evaluation report (all figures, one string)."""
+    blocks = []
+    if settings is not None:
+        blocks.append(
+            "Dynamic Query Evaluation Plans — reproduced evaluation "
+            "(N=%d invocations per query, cpu_scale=%s)"
+            % (settings.invocations, settings.cpu_scale)
+        )
+    if table1 is not None:
+        blocks.append(render_table1(table1))
+    for figure in figures:
+        blocks.append(render_figure(figure))
+    return "\n\n".join(blocks)
+
+
+def figure_to_csv(figure):
+    """Render a figure's series as CSV (query, uncertain, series, value)."""
+    lines = ["query,uncertain_variables,series,value"]
+    for series_name, points in figure.series.items():
+        for point in points:
+            lines.append(
+                "%s,%d,%s,%s"
+                % (
+                    point["query"],
+                    point["uncertain_variables"],
+                    series_name.replace(",", ";"),
+                    point["value"],
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_ascii_chart(figure, width=60, log_scale=True):
+    """Plot a figure as an ASCII chart, one mark per series.
+
+    The paper's Figures 4-8 use log-scale y-axes; so does this chart
+    (each row is one (query, series) value, the bar length encodes the
+    magnitude).
+    """
+    import math
+
+    marks = "*o+x#@%&"
+    rows = []
+    for index, (series_name, points) in enumerate(sorted(figure.series.items())):
+        mark = marks[index % len(marks)]
+        for point in points:
+            value = point["value"]
+            if value is None:
+                continue
+            rows.append((point["query"], series_name, mark, float(value)))
+    if not rows:
+        return "(no data)"
+    values = [row[3] for row in rows]
+    positive = [value for value in values if value > 0]
+    floor = min(positive) if positive else 1.0
+    top = max(values + [floor])
+
+    def scale(value):
+        if value <= 0:
+            return 0
+        if not log_scale or top <= floor:
+            return int(width * value / top)
+        span = math.log(top / floor) or 1.0
+        return int(width * math.log(max(value, floor) / floor) / span)
+
+    label_width = max(len("%s %s" % (row[0], row[1])) for row in rows)
+    lines = [
+        "%s — %s (y: %s)"
+        % (figure.figure_id, figure.title, "log scale" if log_scale else "linear"),
+    ]
+    for query, series_name, mark, value in rows:
+        label = ("%s %s" % (query, series_name)).ljust(label_width)
+        lines.append("%s |%s%s %.3g" % (label, "-" * scale(value), mark, value))
+    return "\n".join(lines)

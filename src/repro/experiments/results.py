@@ -1,0 +1,84 @@
+"""Result containers for the experiment harness."""
+
+from repro.cost.calibration import DEFAULT_CPU_SCALE
+
+
+class ExperimentSettings:
+    """Knobs shared by all figure experiments.
+
+    ``invocations`` is the paper's N (100); benchmarks may lower it.
+    ``cpu_scale`` converts measured Python CPU seconds to the simulated
+    machine's timescale (see :mod:`repro.cost.calibration`).
+    """
+
+    def __init__(
+        self,
+        invocations=100,
+        seed=0,
+        binding_seed=7,
+        cpu_scale=DEFAULT_CPU_SCALE,
+        query_numbers=(1, 2, 3, 4, 5),
+    ):
+        self.invocations = int(invocations)
+        self.seed = int(seed)
+        self.binding_seed = int(binding_seed)
+        self.cpu_scale = float(cpu_scale)
+        self.query_numbers = tuple(query_numbers)
+
+    def __repr__(self):
+        return "ExperimentSettings(N=%d, cpu_scale=%s)" % (
+            self.invocations,
+            self.cpu_scale,
+        )
+
+
+class FigureResult:
+    """One reproduced figure: named series of (x, y) points plus notes.
+
+    ``series`` maps a series label (e.g. ``"dynamic, selectivities"``)
+    to a list of points; each point is a dict with at least
+    ``uncertain_variables`` (the x-axis of Figures 4-8), ``query`` and
+    ``value``.
+    """
+
+    def __init__(self, figure_id, title, x_label, y_label, paper_claim):
+        self.figure_id = figure_id
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.paper_claim = paper_claim
+        self.series = {}
+        self.notes = []
+
+    def add_point(self, series_name, query_name, uncertain_variables, value,
+                  **extra):
+        """Append one data point to a series."""
+        point = {
+            "query": query_name,
+            "uncertain_variables": uncertain_variables,
+            "value": value,
+        }
+        point.update(extra)
+        self.series.setdefault(series_name, []).append(point)
+        return point
+
+    def add_note(self, note):
+        """Attach a free-form observation to the figure."""
+        self.notes.append(note)
+
+    def points(self, series_name):
+        """All points of one series."""
+        return self.series.get(series_name, [])
+
+    def value_for(self, series_name, query_name):
+        """The value of a named series at a named query."""
+        for point in self.points(series_name):
+            if point["query"] == query_name:
+                return point["value"]
+        raise KeyError(
+            "figure %s has no point for series %r query %r"
+            % (self.figure_id, series_name, query_name)
+        )
+
+    def __repr__(self):
+        return "FigureResult(%s: %d series)" % (self.figure_id, len(self.series))

@@ -1,0 +1,21 @@
+"""A small SQL front end for select-project-join queries.
+
+The paper's motivating setting is "an SQL query embedded within an
+application program" whose predicates contain host variables.  This
+package parses exactly that class of queries::
+
+    SELECT * FROM R1, R2
+    WHERE R1.a < :v AND R1.b = R2.c AND R2.a = 17
+
+into a :class:`~repro.optimizer.query.QuerySpec`:
+
+* ``attr op :variable``  — an *unbound* selection predicate whose
+  selectivity becomes an uncertain cost-model parameter;
+* ``attr op literal``    — a selection with selectivity estimated from
+  catalog statistics (uniform-domain assumption);
+* ``attr = attr``        — an equi-join predicate.
+"""
+
+from repro.frontend.sql import parse_query
+
+__all__ = ["parse_query"]

@@ -1,0 +1,296 @@
+"""Tokenizer, parser, and binder for the embedded-SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      :=  SELECT select_list FROM table_list [ WHERE condition ]
+    select_list:=  '*'  |  NAME '.' NAME ( ',' NAME '.' NAME )*
+    table_list :=  NAME ( ',' NAME )*
+    condition  :=  comparison ( AND comparison )*
+    comparison :=  operand comp_op operand
+    operand    :=  NAME '.' NAME  |  NUMBER  |  ':' NAME
+    comp_op    :=  '=' | '<>' | '<' | '<=' | '>' | '>='
+
+Binding resolves operands against the catalog: attribute-vs-attribute
+equalities become join predicates; attribute-vs-host-variable
+comparisons become *uncertain* selections (the paper's unbound
+predicates); attribute-vs-literal comparisons become selections whose
+selectivity is estimated from catalog statistics under the classic
+uniform-domain assumption.
+"""
+
+import re
+
+from repro.algebra.expressions import (
+    Comparison,
+    ComparisonOp,
+    JoinPredicate,
+    SelectionPredicate,
+    UserVariable,
+)
+from repro.common.errors import OptimizationError
+from repro.optimizer.query import QuerySpec
+
+
+class SqlSyntaxError(OptimizationError):
+    """Raised for queries outside the supported subset."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<param>:[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|=|<|>)
+  | (?P<punct>[.,*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(("SELECT", "FROM", "WHERE", "AND"))
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "_Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(text):
+    """Split query text into tokens; raises on unknown characters."""
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise SqlSyntaxError(
+                "unexpected character %r at position %d"
+                % (text[position], position)
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.upper(), match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing a raw condition list."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise SqlSyntaxError(
+                "expected %s%s at position %d, found %r"
+                % (
+                    kind,
+                    " %r" % value if value is not None else "",
+                    token.position,
+                    token.value or "end of query",
+                )
+            )
+        return token
+
+    def parse(self):
+        self.expect("keyword", "SELECT")
+        projection = self._select_list()
+        self.expect("keyword", "FROM")
+        relations = [self.expect("name").value]
+        while self.peek().kind == "punct" and self.peek().value == ",":
+            self.advance()
+            relations.append(self.expect("name").value)
+        comparisons = []
+        if self.peek().kind == "keyword" and self.peek().value == "WHERE":
+            self.advance()
+            comparisons.append(self._comparison())
+            while (
+                self.peek().kind == "keyword" and self.peek().value == "AND"
+            ):
+                self.advance()
+                comparisons.append(self._comparison())
+        self.expect("eof")
+        return projection, relations, comparisons
+
+    def _select_list(self):
+        if self.peek().kind == "punct" and self.peek().value == "*":
+            self.advance()
+            return None
+        attributes = [self._qualified_name()]
+        while self.peek().kind == "punct" and self.peek().value == ",":
+            self.advance()
+            attributes.append(self._qualified_name())
+        return attributes
+
+    def _qualified_name(self):
+        relation = self.expect("name").value
+        self.expect("punct", ".")
+        attribute = self.expect("name").value
+        return "%s.%s" % (relation, attribute)
+
+    def _comparison(self):
+        left = self._operand()
+        op_token = self.expect("op")
+        right = self._operand()
+        return left, op_token.value, right
+
+    def _operand(self):
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.value)
+            if value.is_integer():
+                value = int(value)
+            return ("literal", value)
+        if token.kind == "param":
+            return ("param", token.value[1:])
+        if token.kind == "name":
+            self.expect("punct", ".")
+            attribute = self.expect("name").value
+            return ("attr", "%s.%s" % (token.value, attribute))
+        raise SqlSyntaxError(
+            "expected an operand at position %d, found %r"
+            % (token.position, token.value or "end of query")
+        )
+
+
+_OPS = {op.value: op for op in ComparisonOp}
+
+
+def _estimate_literal_selectivity(catalog, qualified, op, value):
+    """Uniform-domain selectivity estimate for ``attr op literal``."""
+    relation, attribute = qualified.split(".", 1)
+    stats = catalog.statistics(relation).attribute(attribute)
+    domain = stats.domain_size
+    low = stats.min_value
+    high = stats.max_value
+    width = max(high - low + 1, 1)
+    fraction_below = min(max((value - low) / width, 0.0), 1.0)
+    if op is ComparisonOp.EQ:
+        return 1.0 / domain
+    if op is ComparisonOp.NE:
+        return 1.0 - 1.0 / domain
+    if op in (ComparisonOp.LT, ComparisonOp.LE):
+        return fraction_below
+    return 1.0 - fraction_below
+
+
+def parse_query(sql, catalog, name=None, memory_uncertain=False,
+                expected_selectivity=0.05):
+    """Parse embedded SQL into a :class:`QuerySpec`.
+
+    Host variables (``:v``) make their predicates *unbound*: the
+    selectivity parameter is named ``sel_<relation>`` and the run-time
+    binding supplies both the variable value and the selectivity
+    (:mod:`repro.workloads.bindings` follows the same convention).
+    """
+    projection, relations, comparisons = _Parser(tokenize(sql)).parse()
+    if len(set(relations)) != len(relations):
+        raise SqlSyntaxError("duplicate relation in FROM (no self-joins)")
+    for relation in relations:
+        if not catalog.has_relation(relation):
+            raise SqlSyntaxError("unknown relation %r" % relation)
+    relation_set = set(relations)
+
+    selections = {}
+    join_predicates = []
+    for left, op_text, right in comparisons:
+        op = _OPS[op_text]
+        if left[0] == "attr" and right[0] == "attr":
+            if op is not ComparisonOp.EQ:
+                raise SqlSyntaxError(
+                    "only equi-joins are supported, found %r between "
+                    "attributes" % op_text
+                )
+            _check_attribute(catalog, relation_set, left[1])
+            _check_attribute(catalog, relation_set, right[1])
+            join_predicates.append(JoinPredicate(left[1], right[1]))
+            continue
+        # Normalize so the attribute is on the left.
+        if left[0] != "attr" and right[0] == "attr":
+            left, right = right, left
+            op = _flip(op)
+        if left[0] != "attr":
+            raise SqlSyntaxError(
+                "a comparison needs at least one attribute operand"
+            )
+        qualified = left[1]
+        _check_attribute(catalog, relation_set, qualified)
+        relation = qualified.split(".", 1)[0]
+        if relation in selections:
+            raise SqlSyntaxError(
+                "at most one selection predicate per relation is "
+                "supported (relation %r has several)" % relation
+            )
+        if right[0] == "param":
+            predicate = SelectionPredicate(
+                Comparison(qualified, op, UserVariable(right[1])),
+                selectivity_parameter="sel_%s" % relation,
+                expected_selectivity=expected_selectivity,
+            )
+        else:
+            predicate = SelectionPredicate(
+                Comparison(qualified, op, right[1]),
+                known_selectivity=_estimate_literal_selectivity(
+                    catalog, qualified, op, right[1]
+                ),
+            )
+        selections[relation] = predicate
+
+    if projection is not None:
+        for qualified in projection:
+            _check_attribute(catalog, relation_set, qualified)
+    return QuerySpec(
+        relations,
+        selections,
+        join_predicates,
+        memory_uncertain=memory_uncertain,
+        name=name or "sql-query",
+        projection=projection,
+    )
+
+
+def _check_attribute(catalog, relation_set, qualified):
+    relation, attribute = qualified.split(".", 1)
+    if relation not in relation_set:
+        raise SqlSyntaxError(
+            "attribute %r references a relation missing from FROM"
+            % qualified
+        )
+    if attribute not in catalog.schema(relation):
+        raise SqlSyntaxError("unknown attribute %r" % qualified)
+
+
+def _flip(op):
+    """Mirror a comparison when its operands are swapped."""
+    mirror = {
+        ComparisonOp.LT: ComparisonOp.GT,
+        ComparisonOp.LE: ComparisonOp.GE,
+        ComparisonOp.GT: ComparisonOp.LT,
+        ComparisonOp.GE: ComparisonOp.LE,
+        ComparisonOp.EQ: ComparisonOp.EQ,
+        ComparisonOp.NE: ComparisonOp.NE,
+    }
+    return mirror[op]

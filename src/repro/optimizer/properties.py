@@ -1,0 +1,59 @@
+"""Physical properties: sort order and plan robustness.
+
+Physical properties generalize System R's "interesting orders" (paper
+Section 2).  A *required* property constrains which plans may answer a
+(sub)query; a plan *delivers* a set of sort orders.  Plan robustness —
+the property enforced by the choose-plan operator — is handled
+implicitly by the search engine: in dynamic mode every winner returned
+for a (group, property) pair is robust.
+"""
+
+
+class PhysicalProperty:
+    """A required physical property: "any order" or "sorted on X"."""
+
+    __slots__ = ("sorted_on",)
+
+    def __init__(self, sorted_on=None):
+        self.sorted_on = sorted_on
+
+    @classmethod
+    def any(cls):
+        """No ordering requirement."""
+        return _ANY
+
+    @classmethod
+    def sorted(cls, attribute):
+        """Output must be sorted on the qualified attribute."""
+        return cls(sorted_on=attribute)
+
+    @property
+    def is_any(self):
+        """True when no ordering is required."""
+        return self.sorted_on is None
+
+    def satisfied_by(self, sort_orders):
+        """True when delivered ``sort_orders`` meet this requirement."""
+        if self.sorted_on is None:
+            return True
+        return self.sorted_on in sort_orders
+
+    def key(self):
+        """Hashable memo key for winner tables."""
+        return ("sorted", self.sorted_on) if self.sorted_on else ("any",)
+
+    def __eq__(self, other):
+        if not isinstance(other, PhysicalProperty):
+            return NotImplemented
+        return self.sorted_on == other.sorted_on
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        if self.sorted_on is None:
+            return "PhysicalProperty(any)"
+        return "PhysicalProperty(sorted on %s)" % self.sorted_on
+
+
+_ANY = PhysicalProperty()

@@ -1,0 +1,246 @@
+"""Query specifications: the optimizer's normalized input.
+
+A :class:`QuerySpec` captures a select-join query — the class of
+queries in the paper's experiments — as a set of relations, at most
+one selection predicate per relation, and a set of equi-join
+predicates forming a join graph.  It can be built directly or derived
+from a logical algebra tree of :class:`~repro.algebra.logical.GetSet`,
+``Select``, and ``Join`` operators (selections must already be pushed
+onto their relations, as in all the paper's queries).
+"""
+
+from repro.algebra.logical import (
+    GetSet,
+    Join,
+    LogicalExpression,
+    Project,
+    Select,
+)
+from repro.common.errors import OptimizationError
+from repro.cost.parameters import Parameter, ParameterSpace
+
+
+class QuerySpec:
+    """A normalized select-join query plus its parameter space."""
+
+    def __init__(
+        self,
+        relations,
+        selections=None,
+        join_predicates=(),
+        memory_uncertain=False,
+        name=None,
+        projection=None,
+    ):
+        self.relations = tuple(relations)
+        if not self.relations:
+            raise OptimizationError("a query needs at least one relation")
+        if len(set(self.relations)) != len(self.relations):
+            raise OptimizationError("duplicate relation in query (no self-joins)")
+        self.selections = dict(selections or {})
+        for relation_name in self.selections:
+            if relation_name not in self.relations:
+                raise OptimizationError(
+                    "selection on %r but that relation is not in the query"
+                    % relation_name
+                )
+        self.join_predicates = tuple(join_predicates)
+        self.memory_uncertain = bool(memory_uncertain)
+        self.name = name or "query"
+        #: qualified attributes the query returns (None = all)
+        self.projection = tuple(projection) if projection else None
+        self._validate_join_graph()
+        self.parameter_space = self._build_parameter_space()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_logical(cls, expression, memory_uncertain=False, name=None):
+        """Normalize a logical algebra tree into a :class:`QuerySpec`.
+
+        A single top-level :class:`~repro.algebra.logical.Project` is
+        accepted as the query's output attribute list.
+        """
+        if not isinstance(expression, LogicalExpression):
+            raise OptimizationError(
+                "expected a logical expression, got %r" % (expression,)
+            )
+        projection = None
+        if isinstance(expression, Project):
+            projection = expression.attributes
+            expression = expression.input
+            if isinstance(expression, Project):
+                raise OptimizationError("nested projections are not supported")
+        relations = []
+        selections = {}
+        join_predicates = []
+        cls._collect(expression, relations, selections, join_predicates)
+        return cls(
+            relations,
+            selections,
+            join_predicates,
+            memory_uncertain=memory_uncertain,
+            name=name,
+            projection=projection,
+        )
+
+    @classmethod
+    def _collect(cls, expression, relations, selections, join_predicates):
+        if isinstance(expression, GetSet):
+            relations.append(expression.relation_name)
+            return expression.relation_name
+        if isinstance(expression, Select):
+            below = cls._collect(
+                expression.input, relations, selections, join_predicates
+            )
+            if below is None:
+                raise OptimizationError(
+                    "selections must be pushed down onto single relations; "
+                    "found Select above a join"
+                )
+            if below in selections:
+                raise OptimizationError(
+                    "at most one selection predicate per relation "
+                    "(relation %r has two)" % below
+                )
+            selections[below] = expression.predicate
+            return below
+        if isinstance(expression, Join):
+            cls._collect(expression.left, relations, selections, join_predicates)
+            cls._collect(expression.right, relations, selections, join_predicates)
+            join_predicates.extend(expression.predicates)
+            return None
+        if isinstance(expression, Project):
+            raise OptimizationError(
+                "projections are only supported at the top of the query"
+            )
+        raise OptimizationError("unsupported logical operator %r" % expression)
+
+    def _validate_join_graph(self):
+        relation_set = set(self.relations)
+        for predicate in self.join_predicates:
+            for attribute in (predicate.left_attribute, predicate.right_attribute):
+                relation = attribute.split(".", 1)[0]
+                if relation not in relation_set:
+                    raise OptimizationError(
+                        "join predicate %r references unknown relation %r"
+                        % (predicate, relation)
+                    )
+        if len(self.relations) > 1 and not self.is_connected(
+            frozenset(self.relations)
+        ):
+            raise OptimizationError(
+                "the join graph is disconnected; cross products are not "
+                "part of the experimental algebra"
+            )
+
+    def _build_parameter_space(self):
+        parameters = []
+        for relation_name in self.relations:
+            predicate = self.selections.get(relation_name)
+            if predicate is not None and predicate.is_uncertain:
+                parameters.append(
+                    Parameter(
+                        predicate.selectivity_parameter,
+                        tuple(predicate.selectivity_bounds),
+                        predicate.expected_selectivity,
+                        uncertain=True,
+                    )
+                )
+        space = ParameterSpace(parameters)
+        space.add(Parameter.memory(uncertain=self.memory_uncertain))
+        return space
+
+    # ------------------------------------------------------------------
+    # Join-graph queries
+    # ------------------------------------------------------------------
+
+    def _relation_of(self, attribute):
+        return attribute.split(".", 1)[0]
+
+    def cross_predicates(self, left_set, right_set):
+        """Join predicates connecting two disjoint relation sets."""
+        result = []
+        for predicate in self.join_predicates:
+            left_rel = self._relation_of(predicate.left_attribute)
+            right_rel = self._relation_of(predicate.right_attribute)
+            if left_rel in left_set and right_rel in right_set:
+                result.append(predicate)
+            elif left_rel in right_set and right_rel in left_set:
+                result.append(predicate.flipped())
+        return result
+
+    def internal_predicates(self, relation_set):
+        """Join predicates with both sides inside ``relation_set``."""
+        result = []
+        for predicate in self.join_predicates:
+            left_rel = self._relation_of(predicate.left_attribute)
+            right_rel = self._relation_of(predicate.right_attribute)
+            if left_rel in relation_set and right_rel in relation_set:
+                result.append(predicate)
+        return result
+
+    def is_connected(self, relation_set):
+        """True when the join graph restricted to the set is connected."""
+        relation_set = set(relation_set)
+        if len(relation_set) <= 1:
+            return True
+        adjacency = {relation: set() for relation in relation_set}
+        for predicate in self.join_predicates:
+            left_rel = self._relation_of(predicate.left_attribute)
+            right_rel = self._relation_of(predicate.right_attribute)
+            if left_rel in relation_set and right_rel in relation_set:
+                adjacency[left_rel].add(right_rel)
+                adjacency[right_rel].add(left_rel)
+        start = next(iter(relation_set))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            relation = frontier.pop()
+            for neighbour in adjacency[relation]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen == relation_set
+
+    def connected_splits(self, relation_set):
+        """All ordered splits ``(A, B)`` of a connected set into two
+        connected, non-empty halves joined by at least one predicate.
+
+        Used by tests as the ground truth the rule closure must reach,
+        and by the exhaustive enumerator.
+        """
+        relation_list = sorted(relation_set)
+        count = len(relation_list)
+        results = []
+        if count < 2:
+            return results
+        for mask in range(1, 2 ** count - 1):
+            left = frozenset(
+                relation_list[i] for i in range(count) if mask & (1 << i)
+            )
+            right = frozenset(relation_set) - left
+            if not self.is_connected(left) or not self.is_connected(right):
+                continue
+            if not self.cross_predicates(left, right):
+                continue
+            results.append((left, right))
+        return results
+
+    def selection_for(self, relation_name):
+        """The selection predicate on a relation, or ``None``."""
+        return self.selections.get(relation_name)
+
+    def uncertain_variable_count(self):
+        """Number of uncertain parameters (x-axis of the figures)."""
+        return self.parameter_space.uncertain_count()
+
+    def __repr__(self):
+        return "QuerySpec(%s: %d relations, %d joins, %d uncertain)" % (
+            self.name,
+            len(self.relations),
+            len(self.join_predicates),
+            self.uncertain_variable_count(),
+        )

@@ -1,0 +1,46 @@
+"""Optimization scenarios (Figure 3 of the paper).
+
+Three ways to cope with compile-time uncertainty, each modelled as a
+sequence of query invocations:
+
+* **static** — optimize once at compile time (``a``), then per
+  invocation activate (``b``) and execute (``c_i``);
+* **run-time optimization** — re-optimize with true bindings before
+  every invocation (``a`` each time) and execute (``d_i``);
+* **dynamic plans** — optimize once into a dynamic plan (``e``), per
+  invocation activate it — read the bigger module, evaluate the
+  choose-plan decisions — (``f``) and execute the chosen plan
+  (``g_i``), with the paper's guarantee ``g_i = d_i``.
+
+Scenario results feed the Figure 4-8 experiments and the break-even
+analysis of Section 6.
+"""
+
+from repro.scenarios.advisor import StrategyRecommendation, recommend_strategy
+from repro.scenarios.breakeven import (
+    breakeven_runtime_vs_dynamic,
+    breakeven_static_vs_dynamic,
+)
+from repro.scenarios.dynamic_scenario import DynamicPlanScenario
+from repro.scenarios.reoptimization import ConditionalReoptimizationScenario
+from repro.scenarios.runtime_scenario import RunTimeOptimizationScenario
+from repro.scenarios.scenario import (
+    InvocationRecord,
+    ScenarioResult,
+    predicted_execution_seconds,
+)
+from repro.scenarios.static_scenario import StaticPlanScenario
+
+__all__ = [
+    "ConditionalReoptimizationScenario",
+    "StrategyRecommendation",
+    "recommend_strategy",
+    "DynamicPlanScenario",
+    "InvocationRecord",
+    "RunTimeOptimizationScenario",
+    "ScenarioResult",
+    "StaticPlanScenario",
+    "breakeven_runtime_vs_dynamic",
+    "breakeven_static_vs_dynamic",
+    "predicted_execution_seconds",
+]

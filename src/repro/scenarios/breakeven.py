@@ -1,0 +1,55 @@
+"""Break-even analysis (paper Section 6).
+
+``N_break-even`` between dynamic and static plans is the smallest N
+with ``e + N(f + g) < a + N(b + c)``; between dynamic plans and
+run-time optimization it is the smallest N with
+``e + N(f + g) < N(a + d)``, which the paper simplifies (using
+``g = d``) to ``ceil(e / (a - f))``.
+"""
+
+import math
+
+
+def breakeven_static_vs_dynamic(static_result, dynamic_result):
+    """Invocations needed for a dynamic plan to beat a static plan.
+
+    Returns ``None`` when the dynamic plan never catches up (its
+    per-invocation effort is not smaller).
+    """
+    extra_compile = (
+        dynamic_result.compile_seconds - static_result.compile_seconds
+    )
+    static_per_invocation = (
+        static_result.average_activation_seconds
+        + static_result.average_execution_seconds
+    )
+    dynamic_per_invocation = (
+        dynamic_result.average_activation_seconds
+        + dynamic_result.average_execution_seconds
+    )
+    advantage = static_per_invocation - dynamic_per_invocation
+    if advantage <= 0:
+        return None
+    if extra_compile <= 0:
+        return 1
+    return max(1, math.ceil(extra_compile / advantage))
+
+
+def breakeven_runtime_vs_dynamic(runtime_result, dynamic_result):
+    """Invocations needed for a dynamic plan to beat run-time
+    optimization.
+
+    Uses the paper's formula ``ceil(e / (a - f))`` with ``e`` the
+    dynamic optimization time, ``a`` the per-invocation optimization
+    time of the run-time scenario, and ``f`` the dynamic activation
+    time.  Returns ``None`` when activation costs as much as
+    optimizing (no break-even).
+    """
+    compile_cost = dynamic_result.compile_seconds
+    per_invocation_saving = (
+        runtime_result.average_optimize_seconds
+        - dynamic_result.average_activation_seconds
+    )
+    if per_invocation_saving <= 0:
+        return None
+    return max(1, math.ceil(compile_cost / per_invocation_saving))

@@ -1,0 +1,130 @@
+"""Shared scenario plumbing: invocation records and result aggregates.
+
+Per the paper's footnote 4, *execution times are those predicted by
+the optimizer* under the actual run-time bindings — this isolates the
+quality of the search strategy from selectivity-estimation noise.
+:func:`predicted_execution_seconds` computes exactly that: the plan's
+cost functions evaluated at the bound parameter values.
+"""
+
+from repro.algebra.physical import ChoosePlan
+from repro.common.errors import PlanError
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import Valuation
+
+
+def predicted_execution_seconds(plan, catalog, parameter_space, bindings):
+    """Execution time of a *static* plan under concrete bindings.
+
+    The plan must contain no choose-plan operators (resolve dynamic
+    plans first); the result is the point value of the plan's cost
+    under the run-time valuation.
+    """
+    for node in plan.walk_unique():
+        if isinstance(node, ChoosePlan):
+            raise PlanError(
+                "predicted_execution_seconds needs a resolved plan; "
+                "activate the dynamic plan first"
+            )
+    valuation = Valuation.runtime(parameter_space, bindings)
+    model = CostModel(catalog, valuation)
+    return model.evaluate(plan).cost.lower
+
+
+class InvocationRecord:
+    """Timings of one query invocation under one scenario."""
+
+    __slots__ = ("optimize_seconds", "activation_seconds", "execution_seconds")
+
+    def __init__(self, optimize_seconds, activation_seconds, execution_seconds):
+        self.optimize_seconds = optimize_seconds
+        self.activation_seconds = activation_seconds
+        self.execution_seconds = execution_seconds
+
+    @property
+    def run_time_effort(self):
+        """Everything paid at run time for this invocation."""
+        return (
+            self.optimize_seconds
+            + self.activation_seconds
+            + self.execution_seconds
+        )
+
+    def __repr__(self):
+        return "InvocationRecord(opt=%.4f, act=%.4f, exec=%.4f)" % (
+            self.optimize_seconds,
+            self.activation_seconds,
+            self.execution_seconds,
+        )
+
+
+class ScenarioResult:
+    """Aggregate of one scenario over a series of invocations."""
+
+    def __init__(self, name, compile_seconds, invocations, plan_nodes,
+                 extra=None):
+        self.name = name
+        self.compile_seconds = compile_seconds
+        self.invocations = list(invocations)
+        self.plan_nodes = plan_nodes
+        self.extra = dict(extra or {})
+
+    @property
+    def invocation_count(self):
+        """Number of invocations recorded."""
+        return len(self.invocations)
+
+    @property
+    def average_execution_seconds(self):
+        """Mean execution time across invocations."""
+        if not self.invocations:
+            return 0.0
+        return sum(r.execution_seconds for r in self.invocations) / len(
+            self.invocations
+        )
+
+    @property
+    def average_activation_seconds(self):
+        """Mean activation (start-up) time across invocations."""
+        if not self.invocations:
+            return 0.0
+        return sum(r.activation_seconds for r in self.invocations) / len(
+            self.invocations
+        )
+
+    @property
+    def average_optimize_seconds(self):
+        """Mean per-invocation optimization time (run-time scenario)."""
+        if not self.invocations:
+            return 0.0
+        return sum(r.optimize_seconds for r in self.invocations) / len(
+            self.invocations
+        )
+
+    @property
+    def average_run_time_effort(self):
+        """Mean per-invocation total run-time effort."""
+        if not self.invocations:
+            return 0.0
+        return sum(r.run_time_effort for r in self.invocations) / len(
+            self.invocations
+        )
+
+    def total_effort(self):
+        """Compile-time effort plus all run-time effort."""
+        return self.compile_seconds + sum(
+            r.run_time_effort for r in self.invocations
+        )
+
+    def __repr__(self):
+        return (
+            "ScenarioResult(%s: compile=%.3fs, avg_exec=%.3fs, "
+            "avg_act=%.3fs, n=%d)"
+            % (
+                self.name,
+                self.compile_seconds,
+                self.average_execution_seconds,
+                self.average_activation_seconds,
+                self.invocation_count,
+            )
+        )

@@ -1,0 +1,63 @@
+"""Scenario 1: traditional compile-time optimization (static plans).
+
+Optimize once with expected parameter values; every invocation then
+activates the small static access module (catalog validation plus
+module read) and executes the same plan, however unsuitable it is for
+the actual bindings.
+"""
+
+from repro.common.units import CATALOG_VALIDATION_SECONDS
+from repro.executor.access_module import AccessModule
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.optimizer import optimize_static
+from repro.scenarios.scenario import (
+    InvocationRecord,
+    ScenarioResult,
+    predicted_execution_seconds,
+)
+
+
+class StaticPlanScenario:
+    """Compile once with expected values, run the static plan always."""
+
+    name = "static"
+
+    def __init__(self, workload, config=None, cpu_scale=1.0):
+        self.workload = workload
+        self.config = config if config is not None else OptimizerConfig.static()
+        #: measured-CPU to simulated-seconds factor (see cost.calibration)
+        self.cpu_scale = float(cpu_scale)
+        self.result = optimize_static(workload.catalog, workload.query, self.config)
+        self.module = AccessModule.from_plan(
+            self.result.plan, workload.query.name
+        )
+
+    @property
+    def plan(self):
+        """The single static plan."""
+        return self.result.plan
+
+    def activation_seconds(self):
+        """Time ``b``: catalog validation plus module read."""
+        return CATALOG_VALIDATION_SECONDS + self.module.read_seconds()
+
+    def invoke(self, bindings):
+        """One invocation: activation plus (predicted) execution."""
+        execution = predicted_execution_seconds(
+            self.plan,
+            self.workload.catalog,
+            self.workload.query.parameter_space,
+            bindings,
+        )
+        return InvocationRecord(0.0, self.activation_seconds(), execution)
+
+    def run_series(self, binding_series):
+        """All invocations of a binding series, aggregated."""
+        invocations = [self.invoke(bindings) for bindings in binding_series]
+        return ScenarioResult(
+            self.name,
+            self.result.statistics.optimization_seconds * self.cpu_scale,
+            invocations,
+            self.module.node_count,
+            extra={"optimizer_statistics": self.result.statistics.as_dict()},
+        )

@@ -1,0 +1,16 @@
+"""Storage substrate: paged heap files, B-tree indexes, I/O accounting.
+
+The execution engine runs plans over this substrate.  Pages are 2 KB
+and records 512 bytes as in the paper's experiments; every page access
+is counted by an :class:`IOStatistics` object so tests and examples
+can validate the cost model against actual behaviour.
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.database import Database
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import IOStatistics
+from repro.storage.records import Record
+
+__all__ = ["BTree", "BufferPool", "Database", "HeapFile", "IOStatistics", "Record"]

@@ -1,0 +1,130 @@
+"""Heap files: unordered record storage in fixed-size pages.
+
+Each relation's records are packed four to a 2 KB page (512-byte
+records).  A sequential scan charges one page read per page touched;
+fetching a single record by RID charges one page read — this is the
+behaviour that makes unclustered index scans expensive at high
+selectivity, the effect at the heart of the paper's motivating
+example.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.common.units import RECORDS_PER_PAGE
+from repro.storage.records import Record
+
+
+class HeapFile:
+    """Paged heap storage for the records of one relation."""
+
+    def __init__(self, schema, io_stats, records_per_page=RECORDS_PER_PAGE):
+        if records_per_page <= 0:
+            raise ExecutionError("records_per_page must be positive")
+        self.schema = schema
+        self.io_stats = io_stats
+        self.records_per_page = records_per_page
+        self._pages = []
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def insert(self, fields):
+        """Append a record; returns its RID ``(page, slot)``.
+
+        Accepts unqualified field names and qualifies them with the
+        relation name so that downstream operators always see
+        ``relation.attribute`` keys.
+        """
+        qualified = {}
+        for attribute in self.schema:
+            name = attribute.name
+            if name in fields:
+                value = fields[name]
+            else:
+                qualified_name = "%s.%s" % (self.schema.relation_name, name)
+                if qualified_name not in fields:
+                    raise ExecutionError(
+                        "missing field %r when inserting into %r"
+                        % (name, self.schema.relation_name)
+                    )
+                value = fields[qualified_name]
+            qualified["%s.%s" % (self.schema.relation_name, name)] = value
+        if not self._pages or len(self._pages[-1]) >= self.records_per_page:
+            self._pages.append([])
+            self.io_stats.charge_page_writes(1)
+        page_number = len(self._pages) - 1
+        slot = len(self._pages[page_number])
+        record = Record(qualified, rid=(page_number, slot))
+        self._pages[page_number].append(record)
+        return record.rid
+
+    def bulk_load(self, rows):
+        """Insert many rows; returns the RIDs in insertion order."""
+        return [self.insert(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def page_count(self):
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    @property
+    def record_count(self):
+        """Total records stored."""
+        return sum(len(page) for page in self._pages)
+
+    def scan(self, buffer_pool=None):
+        """Yield every record, charging one page read per page.
+
+        With a ``buffer_pool``, resident pages cost no I/O (the pool is
+        touched so the scan competes for frames like any access).
+        """
+        for page_number, page in enumerate(self._pages):
+            if buffer_pool is None or not buffer_pool.access(
+                (self.schema.relation_name, page_number)
+            ):
+                self.io_stats.charge_page_reads(1)
+            for record in page:
+                self.io_stats.charge_records(1)
+                yield record
+
+    def fetch(self, rid, buffer_pool=None):
+        """Fetch one record by RID, charging one page read on a miss.
+
+        This models the unclustered-index record fetch: each qualifying
+        RID costs a page access because neighbouring qualifying records
+        rarely share pages — unless an LRU ``buffer_pool`` still holds
+        the page ([MaL89]'s refinement).
+        """
+        page_number, slot = rid
+        try:
+            page = self._pages[page_number]
+            record = page[slot]
+        except IndexError:
+            raise ExecutionError("invalid RID %r" % (rid,)) from None
+        if buffer_pool is None or not buffer_pool.access(
+            (self.schema.relation_name, page_number)
+        ):
+            self.io_stats.charge_page_reads(1)
+        self.io_stats.charge_records(1)
+        return record
+
+    def all_records(self):
+        """All records without charging I/O (catalog/loader internals)."""
+        result = []
+        for page in self._pages:
+            result.extend(page)
+        return result
+
+    def __len__(self):
+        return self.record_count
+
+    def __repr__(self):
+        return "HeapFile(%r, %d records, %d pages)" % (
+            self.schema.relation_name,
+            self.record_count,
+            self.page_count,
+        )

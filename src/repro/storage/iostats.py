@@ -1,0 +1,74 @@
+"""Counters for simulated I/O and CPU work.
+
+The storage layer and iterators charge their page reads/writes and
+per-record CPU work here, so an executed plan yields an account that
+can be compared against the optimizer's cost prediction.
+"""
+
+from repro.common.units import CPU_COST_WEIGHT, IO_TIME_PER_PAGE
+
+
+class IOStatistics:
+    """Mutable counters of pages read/written and records processed."""
+
+    __slots__ = ("pages_read", "pages_written", "records_processed", "index_probes")
+
+    def __init__(self):
+        self.pages_read = 0
+        self.pages_written = 0
+        self.records_processed = 0
+        self.index_probes = 0
+
+    def reset(self):
+        """Zero all counters."""
+        self.pages_read = 0
+        self.pages_written = 0
+        self.records_processed = 0
+        self.index_probes = 0
+
+    def charge_page_reads(self, count=1):
+        """Record ``count`` page reads."""
+        self.pages_read += count
+
+    def charge_page_writes(self, count=1):
+        """Record ``count`` page writes."""
+        self.pages_written += count
+
+    def charge_records(self, count=1):
+        """Record per-record CPU work."""
+        self.records_processed += count
+
+    def charge_index_probe(self, count=1):
+        """Record ``count`` index probes (root-to-leaf traversals)."""
+        self.index_probes += count
+
+    @property
+    def total_pages(self):
+        """Pages read plus pages written."""
+        return self.pages_read + self.pages_written
+
+    def estimated_seconds(self):
+        """Fold the counters into seconds using the machine constants."""
+        io = self.total_pages * IO_TIME_PER_PAGE
+        cpu = self.records_processed * CPU_COST_WEIGHT
+        return io + cpu
+
+    def snapshot(self):
+        """An immutable copy of the current counters as a dict."""
+        return {
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "records_processed": self.records_processed,
+            "index_probes": self.index_probes,
+        }
+
+    def __repr__(self):
+        return (
+            "IOStatistics(read=%d, written=%d, records=%d, probes=%d)"
+            % (
+                self.pages_read,
+                self.pages_written,
+                self.records_processed,
+                self.index_probes,
+            )
+        )

@@ -1,0 +1,87 @@
+"""Records: immutable tuples with schema-aware field access.
+
+A record is stored in a heap file under a record identifier (RID) of
+``(page_number, slot)``.  Records in intermediate results (join
+outputs) use merged field maps keyed by qualified attribute names.
+"""
+
+from repro.common.errors import ExecutionError
+
+
+class Record:
+    """An immutable mapping from qualified attribute names to values."""
+
+    __slots__ = ("_fields", "rid")
+
+    def __init__(self, fields, rid=None):
+        self._fields = dict(fields)
+        self.rid = rid
+
+    def __getitem__(self, name):
+        try:
+            return self._fields[name]
+        except KeyError:
+            pass
+        # Fall back to suffix match for unqualified lookups of
+        # qualified fields (and vice versa).
+        matches = [
+            value
+            for key, value in self._fields.items()
+            if key == name
+            or key.endswith("." + name)
+            or name.endswith("." + key)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ExecutionError(
+                "record has no field %r (fields: %s)"
+                % (name, sorted(self._fields))
+            )
+        raise ExecutionError("field reference %r is ambiguous" % name)
+
+    def get(self, name, default=None):
+        """Like ``dict.get`` with the same suffix-matching as indexing."""
+        try:
+            return self[name]
+        except ExecutionError:
+            return default
+
+    def __contains__(self, name):
+        try:
+            self[name]
+        except ExecutionError:
+            return False
+        return True
+
+    def keys(self):
+        """Field names present in the record."""
+        return self._fields.keys()
+
+    def as_dict(self):
+        """A plain dict copy of the fields."""
+        return dict(self._fields)
+
+    def merged_with(self, other):
+        """A new record holding this record's and ``other``'s fields."""
+        fields = dict(self._fields)
+        fields.update(other._fields)
+        return Record(fields)
+
+    def project(self, names):
+        """A new record keeping only the named fields."""
+        return Record({name: self[name] for name in names})
+
+    def __eq__(self, other):
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self):
+        return hash(tuple(sorted(self._fields.items())))
+
+    def __repr__(self):
+        inner = ", ".join(
+            "%s=%r" % (key, self._fields[key]) for key in sorted(self._fields)
+        )
+        return "Record(%s)" % inner

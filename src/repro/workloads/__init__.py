@@ -1,0 +1,19 @@
+"""Experimental workloads: the paper's five queries and run-time
+binding generators (paper Section 6)."""
+
+from repro.workloads.bindings import binding_series, random_bindings
+from repro.workloads.queries import (
+    PAPER_QUERY_SIZES,
+    Workload,
+    make_join_workload,
+    paper_workload,
+)
+
+__all__ = [
+    "PAPER_QUERY_SIZES",
+    "Workload",
+    "binding_series",
+    "make_join_workload",
+    "paper_workload",
+    "random_bindings",
+]

@@ -1,0 +1,62 @@
+"""Random run-time bindings for the experiments (paper Section 6).
+
+"The random values for selectivities of selection operations are
+chosen from a uniform distribution over the interval [0, 1]. ...
+When memory was considered an unbound parameter, a run-time value for
+the number of pages was chosen from a uniform distribution over
+[16, 112]."
+
+Besides the selectivity parameters themselves (consumed by the
+choose-plan decision procedures), each binding set carries matching
+*user-variable values* so the execution engine produces result sets
+whose actual selectivities equal the drawn parameters: the selection
+attribute is uniform over ``[0, domain)``, so ``a < s * domain`` has
+selectivity ``s``.
+"""
+
+from repro.common.rng import make_rng
+from repro.cost.parameters import Bindings, MEMORY_PARAMETER
+from repro.workloads.queries import SELECTION_ATTRIBUTE
+
+
+def random_bindings(workload, seed=0, run_index=0):
+    """One random binding set for a workload."""
+    query = workload.query
+    catalog = workload.catalog
+    rng = make_rng(seed, "bindings", query.name, run_index)
+    bindings = Bindings()
+    for relation_name in query.relations:
+        predicate = query.selection_for(relation_name)
+        if predicate is None:
+            continue
+        domain = catalog.domain_size(relation_name, SELECTION_ATTRIBUTE)
+        variable = predicate.comparison.operand
+        if not predicate.is_uncertain:
+            # Known selectivity: the executor still needs the user
+            # variable; pick the value matching the known selectivity
+            # so the compile-time estimate is accurate.
+            if hasattr(variable, "name"):
+                bindings.bind_variable(
+                    variable.name, predicate.known_selectivity * domain
+                )
+            continue
+        bounds = predicate.selectivity_bounds
+        selectivity = rng.uniform(bounds.lower, bounds.upper)
+        bindings.bind(predicate.selectivity_parameter, selectivity)
+        if hasattr(variable, "name"):
+            bindings.bind_variable(variable.name, selectivity * domain)
+    memory_parameter = query.parameter_space.get(MEMORY_PARAMETER)
+    if memory_parameter.uncertain:
+        memory = rng.uniform(
+            memory_parameter.bounds.lower, memory_parameter.bounds.upper
+        )
+        bindings.bind(MEMORY_PARAMETER, int(round(memory)))
+    return bindings
+
+
+def binding_series(workload, count=100, seed=0):
+    """The paper's N independent binding sets (N = 100 by default)."""
+    return [
+        random_bindings(workload, seed=seed, run_index=index)
+        for index in range(count)
+    ]

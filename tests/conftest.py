@@ -1,0 +1,66 @@
+"""Shared fixtures: workloads, catalogs, and populated databases.
+
+Session-scoped fixtures are safe because workloads, catalogs, plans,
+and databases are treated as immutable by the tests (executions only
+mutate I/O counters, which tests snapshot-delta).
+"""
+
+import pytest
+
+from repro.catalog import populate_database
+from repro.storage import Database
+from repro.workloads import make_join_workload, paper_workload
+
+
+@pytest.fixture(scope="session")
+def workload1():
+    """Paper query 1: one relation, one unbound predicate."""
+    return paper_workload(1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def workload2():
+    """Paper query 2: two-way join, two unbound predicates."""
+    return paper_workload(2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def workload3():
+    """Paper query 3: four-way join."""
+    return paper_workload(3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def workload2_mem():
+    """Query 2 with uncertain memory."""
+    return paper_workload(2, memory_uncertain=True, seed=0)
+
+
+@pytest.fixture(scope="session")
+def star_workload():
+    """A 4-way star-topology join."""
+    return make_join_workload(4, topology="star", seed=3)
+
+
+@pytest.fixture(scope="session")
+def database2(workload2):
+    """Stored data for query 2's catalog."""
+    database = Database(workload2.catalog)
+    populate_database(database, seed=0)
+    return database
+
+
+@pytest.fixture(scope="session")
+def database1(workload1):
+    """Stored data for query 1's catalog."""
+    database = Database(workload1.catalog)
+    populate_database(database, seed=0)
+    return database
+
+
+@pytest.fixture(scope="session")
+def database3(workload3):
+    """Stored data for query 3's catalog."""
+    database = Database(workload3.catalog)
+    populate_database(database, seed=0)
+    return database

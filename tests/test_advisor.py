@@ -1,0 +1,113 @@
+"""The compilation-strategy advisor (the paper's open characterization
+of "those cases where dynamic plans apply")."""
+
+import pytest
+
+from repro.scenarios import recommend_strategy
+from repro.workloads import make_join_workload
+
+
+class TestRecommendations:
+    def test_repeated_uncertain_query_gets_dynamic(self, workload3):
+        recommendation = recommend_strategy(
+            workload3.catalog, workload3.query, expected_invocations=100
+        )
+        assert recommendation.strategy == "dynamic"
+
+    def test_single_shot_query_gets_runtime_optimization(self, workload3):
+        recommendation = recommend_strategy(
+            workload3.catalog, workload3.query, expected_invocations=1
+        )
+        assert recommendation.strategy == "run-time optimization"
+
+    def test_certain_query_gets_static(self):
+        workload = make_join_workload(3, uncertain_selections=0)
+        recommendation = recommend_strategy(
+            workload.catalog, workload.query, expected_invocations=100
+        )
+        assert recommendation.strategy == "static"
+
+    def test_more_invocations_never_hurt_dynamic(self, workload2):
+        few = recommend_strategy(
+            workload2.catalog, workload2.query, expected_invocations=2
+        )
+        many = recommend_strategy(
+            workload2.catalog, workload2.query, expected_invocations=500
+        )
+        gap_few = few.totals["dynamic"] - few.totals["static"]
+        gap_many = many.totals["dynamic"] - many.totals["static"]
+        # Dynamic's relative position improves with invocation count.
+        assert gap_many < gap_few
+
+
+class TestRecommendationContents:
+    def test_totals_and_components_present(self, workload2):
+        recommendation = recommend_strategy(
+            workload2.catalog, workload2.query, expected_invocations=10
+        )
+        assert set(recommendation.totals) == {
+            "static", "dynamic", "run-time optimization",
+        }
+        for key in ("a", "b", "c", "e", "f", "g"):
+            assert recommendation.components[key] >= 0
+        assert (
+            recommendation.components["dynamic_nodes"]
+            > recommendation.components["static_nodes"]
+        )
+
+    def test_totals_follow_figure3_formulas(self, workload2):
+        recommendation = recommend_strategy(
+            workload2.catalog, workload2.query, expected_invocations=7
+        )
+        parts = recommendation.components
+        assert recommendation.totals["static"] == pytest.approx(
+            parts["a"] + 7 * (parts["b"] + parts["c"])
+        )
+        assert recommendation.totals["dynamic"] == pytest.approx(
+            parts["e"] + 7 * (parts["f"] + parts["g"])
+        )
+        assert recommendation.totals["run-time optimization"] == pytest.approx(
+            7 * (parts["a"] + parts["g"])
+        )
+
+    def test_rationale_mentions_recommendation(self, workload2):
+        recommendation = recommend_strategy(
+            workload2.catalog, workload2.query, expected_invocations=10
+        )
+        text = recommendation.rationale()
+        assert recommendation.strategy in text
+        assert "10" in text
+
+    def test_invocations_floored_at_one(self, workload1):
+        recommendation = recommend_strategy(
+            workload1.catalog, workload1.query, expected_invocations=0
+        )
+        assert recommendation.invocations == 1
+
+
+class TestAdvisorAgreesWithMeasurement:
+    def test_dynamic_recommendation_confirmed_by_scenarios(self, workload3):
+        """When the advisor says 'dynamic' at N=50, actually running the
+        scenarios over 50 random bindings must agree.
+
+        The confirmation uses ``cpu_scale=1`` so the comparison rests
+        on the modelled quantities (activation I/O + predicted
+        execution) rather than jittery measured CPU; the scaled
+        comparison is exercised at benchmark scale in bench_fig8.py.
+        """
+        from repro.scenarios import (
+            DynamicPlanScenario,
+            StaticPlanScenario,
+        )
+        from repro.workloads import binding_series
+
+        recommendation = recommend_strategy(
+            workload3.catalog, workload3.query, expected_invocations=50
+        )
+        assert recommendation.strategy == "dynamic"
+        series = binding_series(workload3, count=50, seed=77)
+        static = StaticPlanScenario(workload3).run_series(series)
+        dynamic = DynamicPlanScenario(workload3).run_series(series)
+        assert (
+            dynamic.average_run_time_effort < static.average_run_time_effort
+        )

@@ -1,0 +1,226 @@
+"""Schemas, statistics, catalog registry, and the synthetic generator."""
+
+import pytest
+
+from repro.catalog import (
+    Attribute,
+    AttributeStatistics,
+    AttributeType,
+    Catalog,
+    IndexInfo,
+    RelationStatistics,
+    Schema,
+    build_synthetic_catalog,
+    default_relation_specs,
+    generate_rows,
+    populate_database,
+)
+from repro.catalog.synthetic import (
+    CARDINALITY_RANGE,
+    DOMAIN_FACTOR_RANGE,
+    JOIN_DOMAIN_FACTOR,
+)
+from repro.common.errors import CatalogError
+from repro.storage import Database
+
+
+def simple_schema(name="R"):
+    return Schema(name, [Attribute("a"), Attribute("b")])
+
+
+def simple_stats(name="R", cardinality=100):
+    return RelationStatistics(
+        name,
+        cardinality,
+        [AttributeStatistics("a", 50), AttributeStatistics("b", 40)],
+    )
+
+
+class TestSchema:
+    def test_position_and_lookup(self):
+        schema = simple_schema()
+        assert schema.position_of("a") == 0
+        assert schema.position_of("R.b") == 1
+        assert schema.attribute("b").name == "b"
+
+    def test_qualified_names(self):
+        assert simple_schema().qualified_names() == ("R.a", "R.b")
+
+    def test_contains(self):
+        schema = simple_schema()
+        assert "a" in schema
+        assert "R.b" in schema
+        assert "c" not in schema
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(CatalogError):
+            simple_schema().position_of("zzz")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema("R", [Attribute("a"), Attribute("a")])
+
+    def test_qualified_attribute_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Attribute("R.a")
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Attribute("")
+
+    def test_len_and_iter(self):
+        schema = simple_schema()
+        assert len(schema) == 2
+        assert [attribute.name for attribute in schema] == ["a", "b"]
+
+    def test_attribute_equality(self):
+        assert Attribute("a") == Attribute("a", AttributeType.INTEGER)
+        assert Attribute("a") != Attribute("a", AttributeType.STRING)
+
+
+class TestStatistics:
+    def test_pages(self):
+        assert simple_stats(cardinality=100).pages == 25
+        assert simple_stats(cardinality=0).pages == 0
+
+    def test_attribute_lookup_accepts_qualified(self):
+        stats = simple_stats()
+        assert stats.attribute("R.a").domain_size == 50
+        assert stats.has_attribute("R.b")
+        assert not stats.has_attribute("zzz")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(CatalogError):
+            simple_stats().attribute("missing")
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStatistics("R", -1)
+
+    def test_nonpositive_domain_rejected(self):
+        with pytest.raises(CatalogError):
+            AttributeStatistics("a", 0)
+
+    def test_default_value_range(self):
+        stats = AttributeStatistics("a", 10)
+        assert stats.min_value == 0
+        assert stats.max_value == 9
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_relation(simple_schema(), simple_stats())
+        assert catalog.has_relation("R")
+        assert catalog.cardinality("R") == 100
+        assert catalog.domain_size("R", "a") == 50
+        assert catalog.relation_names() == ["R"]
+
+    def test_duplicate_relation_rejected(self):
+        catalog = Catalog()
+        catalog.add_relation(simple_schema(), simple_stats())
+        with pytest.raises(CatalogError):
+            catalog.add_relation(simple_schema(), simple_stats())
+
+    def test_schema_statistics_name_mismatch_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_relation(simple_schema("R"), simple_stats("S"))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().schema("nope")
+
+    def test_index_registration(self):
+        catalog = Catalog()
+        catalog.add_relation(simple_schema(), simple_stats())
+        catalog.add_index(IndexInfo("R", "a"))
+        assert catalog.index_on("R", "a") is not None
+        assert catalog.index_on("R", "R.a") is not None
+        assert catalog.index_on("R", "b") is None
+        assert len(catalog.indexes_for("R")) == 1
+
+    def test_index_on_unknown_relation_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog().add_index(IndexInfo("R", "a"))
+
+    def test_index_on_unknown_attribute_rejected(self):
+        catalog = Catalog()
+        catalog.add_relation(simple_schema(), simple_stats())
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexInfo("R", "zzz"))
+
+    def test_drop_index(self):
+        # Mirrors "indexes are created and destroyed" from Section 1.
+        catalog = Catalog()
+        catalog.add_relation(simple_schema(), simple_stats())
+        catalog.add_index(IndexInfo("R", "a"))
+        catalog.drop_index("R", "a")
+        assert catalog.index_on("R", "a") is None
+        with pytest.raises(CatalogError):
+            catalog.drop_index("R", "a")
+
+
+class TestSyntheticGenerator:
+    def test_cardinalities_span_paper_range(self):
+        specs = default_relation_specs(10, seed=0)
+        cards = [spec.cardinality for spec in specs]
+        assert min(cards) == CARDINALITY_RANGE[0]
+        assert max(cards) == CARDINALITY_RANGE[1]
+        assert cards == sorted(cards)
+
+    def test_single_relation_uses_mid_cardinality(self):
+        (spec,) = default_relation_specs(1)
+        assert CARDINALITY_RANGE[0] < spec.cardinality < CARDINALITY_RANGE[1]
+
+    def test_join_attribute_domains_use_calibrated_factor(self):
+        specs = default_relation_specs(4, seed=0)
+        for spec in specs:
+            for attr in ("b", "c"):
+                expected = max(1, int(round(spec.cardinality * JOIN_DOMAIN_FACTOR)))
+                assert spec.domain_sizes[attr] == expected
+
+    def test_selection_attribute_domains_within_paper_range(self):
+        specs = default_relation_specs(6, seed=1)
+        low, high = DOMAIN_FACTOR_RANGE
+        for spec in specs:
+            factor = spec.domain_sizes["a"] / spec.cardinality
+            assert low - 0.01 <= factor <= high + 0.01
+
+    def test_catalog_has_indexes_on_all_attributes(self):
+        specs = default_relation_specs(2, seed=0)
+        catalog = build_synthetic_catalog(specs, seed=0)
+        for spec in specs:
+            for attr in ("a", "b", "c"):
+                index = catalog.index_on(spec.name, attr)
+                assert index is not None
+                assert not index.clustered  # paper: unclustered B-trees
+
+    def test_generated_rows_match_cardinality_and_domains(self):
+        specs = default_relation_specs(1, seed=0)
+        catalog = build_synthetic_catalog(specs, seed=0)
+        rows = list(generate_rows(catalog, "R1", seed=0))
+        stats = catalog.statistics("R1")
+        assert len(rows) == stats.cardinality
+        for attr in ("a", "b", "c"):
+            domain = stats.attribute(attr).domain_size
+            values = [row[attr] for row in rows]
+            assert all(0 <= value < domain for value in values)
+
+    def test_generation_deterministic(self):
+        specs = default_relation_specs(1, seed=0)
+        catalog = build_synthetic_catalog(specs, seed=0)
+        rows_a = list(generate_rows(catalog, "R1", seed=5))
+        rows_b = list(generate_rows(catalog, "R1", seed=5))
+        assert rows_a == rows_b
+
+    def test_populate_database_builds_indexes(self):
+        specs = default_relation_specs(1, seed=0)
+        catalog = build_synthetic_catalog(specs, seed=0)
+        database = Database(catalog)
+        populate_database(database, seed=0)
+        heap = database.heap("R1")
+        assert heap.record_count == catalog.cardinality("R1")
+        btree = database.btree("R1", "a")
+        assert btree.entry_count == catalog.cardinality("R1")
+        btree.check_invariants()

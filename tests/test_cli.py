@@ -1,0 +1,57 @@
+"""The ``python -m repro`` command-line interface."""
+
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "Choose-Plan" in output
+        assert "chose" in output
+
+    def test_default_command_is_demo(self, capsys):
+        assert main([]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_experiments_small(self, capsys):
+        assert main(["experiments", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "TABLE 1" in output
+        assert "FIGURE8" in output
+
+    def test_sql(self, capsys):
+        code = main(
+            ["sql", "SELECT * FROM R1, R2 WHERE R1.a < :v AND R1.b = R2.c"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "static plan" in output
+        assert "dynamic plan" in output
+
+    def test_sql_without_query(self, capsys):
+        assert main(["sql"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "Commands" in capsys.readouterr().out
+
+
+class TestRunnerCsv:
+    def test_csv_export(self, tmp_path, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main(["2", "--csv", str(tmp_path)]) == 0
+        csvs = sorted(path.name for path in tmp_path.glob("*.csv"))
+        assert csvs == [
+            "figure3.csv", "figure4.csv", "figure5.csv",
+            "figure6.csv", "figure7.csv", "figure8.csv",
+        ]
+        header = (tmp_path / "figure4.csv").read_text().splitlines()[0]
+        assert header == "query,uncertain_variables,series,value"
+
+    def test_csv_requires_directory(self, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        assert runner_main(["2", "--csv"]) == 2

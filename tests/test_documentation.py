@@ -1,0 +1,74 @@
+"""Documentation coverage: every public item carries a docstring.
+
+A release-quality library documents its public surface; this meta-test
+walks every ``repro`` module and asserts that public modules, classes,
+functions, and methods have docstrings.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", None) == module.__name__:
+                yield name, member
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_has_docstring(module):
+    assert module.__doc__, "module %s lacks a docstring" % module.__name__
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_public_items_have_docstrings(module):
+    missing = []
+    for name, member in _public_members(module):
+        if not inspect.getdoc(member):
+            missing.append("%s.%s" % (module.__name__, name))
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                    missing.append(
+                        "%s.%s.%s" % (module.__name__, name, attr_name)
+                    )
+    assert not missing, "undocumented public items: %s" % ", ".join(missing)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), "repro.__all__ lists missing %r" % name
+
+
+def test_subpackage_all_exports_resolve():
+    for module in MODULES:
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            assert hasattr(module, name), (
+                "%s.__all__ lists missing %r" % (module.__name__, name)
+            )

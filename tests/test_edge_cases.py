@@ -1,0 +1,188 @@
+"""Degenerate inputs: empty relations, single records, extreme
+selectivities, and heavy duplicate values."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Comparison,
+    ComparisonOp,
+    JoinPredicate,
+    SelectionPredicate,
+    UserVariable,
+)
+from repro.catalog import (
+    Attribute,
+    AttributeStatistics,
+    Catalog,
+    IndexInfo,
+    RelationStatistics,
+    Schema,
+)
+from repro.cost.parameters import Bindings
+from repro.executor import execute_plan, resolve_dynamic_plan
+from repro.optimizer import QuerySpec, optimize_dynamic, optimize_static
+from repro.storage import Database
+
+
+def tiny_catalog(card_r=0, card_s=4):
+    catalog = Catalog()
+    for name, cardinality in (("R", card_r), ("S", card_s)):
+        schema = Schema(name, [Attribute("a"), Attribute("b")])
+        stats = RelationStatistics(
+            name,
+            cardinality,
+            [AttributeStatistics("a", max(cardinality, 1)),
+             AttributeStatistics("b", 2)],
+        )
+        catalog.add_relation(schema, stats)
+        catalog.add_index(IndexInfo(name, "a"))
+        catalog.add_index(IndexInfo(name, "b"))
+    return catalog
+
+
+def selection(relation):
+    return SelectionPredicate(
+        Comparison("%s.a" % relation, ComparisonOp.LT, UserVariable("v")),
+        selectivity_parameter="sel_%s" % relation,
+    )
+
+
+class TestEmptyRelation:
+    def _setup(self):
+        catalog = tiny_catalog(card_r=0, card_s=4)
+        database = Database(catalog)
+        database.load("R", [])
+        database.load("S", [{"a": i, "b": i % 2} for i in range(4)])
+        query = QuerySpec(
+            ["R", "S"],
+            {"R": selection("R")},
+            [JoinPredicate("R.b", "S.b")],
+            name="empty-join",
+        )
+        return catalog, database, query
+
+    def test_optimizes_without_error(self):
+        catalog, _, query = self._setup()
+        static = optimize_static(catalog, query)
+        dynamic = optimize_dynamic(catalog, query)
+        assert static.cost.lower >= 0
+        assert dynamic.cost.lower >= 0
+
+    def test_executes_to_empty_result(self):
+        catalog, database, query = self._setup()
+        dynamic = optimize_dynamic(catalog, query)
+        bindings = Bindings().bind("sel_R", 0.5).bind_variable("v", 1)
+        result = execute_plan(
+            dynamic.plan, database, bindings, query.parameter_space
+        )
+        assert result.row_count == 0
+
+    def test_resolution_works_on_empty(self):
+        catalog, _, query = self._setup()
+        dynamic = optimize_dynamic(catalog, query)
+        bindings = Bindings().bind("sel_R", 0.0).bind_variable("v", 0)
+        chosen, report = resolve_dynamic_plan(
+            dynamic.plan, catalog, query.parameter_space, bindings
+        )
+        assert chosen.choose_plan_count() == 0
+
+
+class TestSingleRecord:
+    def test_one_record_each_side(self):
+        catalog = tiny_catalog(card_r=1, card_s=1)
+        database = Database(catalog)
+        database.load("R", [{"a": 0, "b": 1}])
+        database.load("S", [{"a": 0, "b": 1}])
+        query = QuerySpec(
+            ["R", "S"], {}, [JoinPredicate("R.b", "S.b")], name="one-one"
+        )
+        dynamic = optimize_dynamic(catalog, query)
+        result = execute_plan(
+            dynamic.plan, database, Bindings(), query.parameter_space
+        )
+        assert result.row_count == 1
+
+
+class TestExtremeSelectivities:
+    @pytest.mark.parametrize("selectivity", [0.0, 1.0])
+    def test_boundary_bindings(self, workload1, database1, selectivity):
+        dynamic = optimize_dynamic(workload1.catalog, workload1.query)
+        domain = workload1.catalog.domain_size("R1", "a")
+        bindings = (
+            Bindings()
+            .bind("sel_R1", selectivity)
+            .bind_variable("v_R1", selectivity * domain)
+        )
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload1.catalog,
+            workload1.query.parameter_space, bindings,
+        )
+        result = execute_plan(
+            chosen, database1, bindings, workload1.query.parameter_space
+        )
+        cardinality = workload1.catalog.cardinality("R1")
+        if selectivity == 0.0:
+            assert result.row_count == 0
+        else:
+            # v = domain, a < domain holds for every record.
+            assert result.row_count == cardinality
+
+    def test_selectivity_zero_picks_index_scan(self, workload1):
+        dynamic = optimize_dynamic(workload1.catalog, workload1.query)
+        bindings = Bindings().bind("sel_R1", 0.0)
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload1.catalog,
+            workload1.query.parameter_space, bindings,
+        )
+        assert chosen.operator_name() == "Filter-B-tree-Scan"
+
+
+class TestHeavyDuplicates:
+    def test_join_on_constant_attribute(self):
+        # Every record shares the same join value: the join degenerates
+        # to a cross product of the matching sides; all algorithms must
+        # agree.
+        catalog = tiny_catalog(card_r=6, card_s=5)
+        database = Database(catalog)
+        database.load("R", [{"a": i, "b": 1} for i in range(6)])
+        database.load("S", [{"a": i, "b": 1} for i in range(5)])
+        query = QuerySpec(
+            ["R", "S"], {}, [JoinPredicate("R.b", "S.b")], name="dupes"
+        )
+        from repro.algebra.physical import (
+            FileScan,
+            HashJoin,
+            MergeJoin,
+            Sort,
+        )
+
+        predicate = query.join_predicates[0]
+        hash_plan = HashJoin(FileScan("R"), FileScan("S"), predicate)
+        merge_plan = MergeJoin(
+            Sort(FileScan("R"), "R.b"),
+            Sort(FileScan("S"), "S.b"),
+            predicate,
+        )
+        for plan in (hash_plan, merge_plan):
+            result = execute_plan(
+                plan, database, Bindings(), query.parameter_space
+            )
+            assert result.row_count == 30
+
+    def test_index_join_with_duplicates(self):
+        catalog = tiny_catalog(card_r=3, card_s=5)
+        database = Database(catalog)
+        database.load("R", [{"a": i, "b": 0} for i in range(3)])
+        database.load("S", [{"a": i, "b": 0} for i in range(5)])
+        query = QuerySpec(
+            ["R", "S"], {}, [JoinPredicate("R.b", "S.b")], name="dupes-idx"
+        )
+        from repro.algebra.physical import FileScan, IndexJoin
+
+        plan = IndexJoin(
+            FileScan("R"), "S", "b", query.join_predicates[0]
+        )
+        result = execute_plan(
+            plan, database, Bindings(), query.parameter_space
+        )
+        assert result.row_count == 15

@@ -1,0 +1,260 @@
+"""Execution engine: every operator verified against an
+engine-independent reference evaluation of the query on stored data."""
+
+import pytest
+
+from repro.workloads import random_bindings
+from tests._reference import reference_rows, row_multiset
+
+from repro.algebra.physical import (
+    BTreeScan,
+    ChoosePlan,
+    FileScan,
+    Filter,
+    FilterBTreeScan,
+    HashJoin,
+    IndexJoin,
+    MergeJoin,
+    Sort,
+)
+from repro.common.errors import ExecutionError
+from repro.executor import execute_plan
+from repro.optimizer import optimize_dynamic, optimize_runtime, optimize_static
+from repro.workloads.queries import SELECTION_ATTRIBUTE
+
+
+class TestScanOperators:
+    def test_file_scan_returns_all_records(self, workload1, database1):
+        result = execute_plan(FileScan("R1"), database1)
+        assert result.row_count == workload1.catalog.cardinality("R1")
+
+    def test_btree_scan_sorted_and_complete(self, workload1, database1):
+        result = execute_plan(BTreeScan("R1", "a"), database1)
+        values = [record["R1.a"] for record in result.records]
+        assert values == sorted(values)
+        assert result.row_count == workload1.catalog.cardinality("R1")
+
+    def test_btree_scan_charges_random_fetches(self, workload1, database1):
+        result = execute_plan(BTreeScan("R1", "a"), database1)
+        assert (
+            result.io_snapshot["pages_read"]
+            >= workload1.catalog.cardinality("R1")
+        )
+
+    def test_filter_btree_scan_matches_filter_file_scan(
+        self, workload1, database1
+    ):
+        predicate = workload1.query.selection_for("R1")
+        bindings = random_bindings(workload1, seed=1)
+        fbs = execute_plan(
+            FilterBTreeScan("R1", SELECTION_ATTRIBUTE, predicate),
+            database1,
+            bindings,
+            workload1.query.parameter_space,
+        )
+        filtered = execute_plan(
+            Filter(FileScan("R1"), predicate),
+            database1,
+            bindings,
+            workload1.query.parameter_space,
+        )
+        assert row_multiset(fbs.records, ["R1.a"]) == row_multiset(
+            filtered.records, ["R1.a"]
+        )
+
+    def test_filter_btree_scan_cheaper_at_low_selectivity(
+        self, workload1, database1
+    ):
+        predicate = workload1.query.selection_for("R1")
+        bindings = random_bindings(workload1, seed=1)
+        domain = workload1.catalog.domain_size("R1", "a")
+        bindings.bind("sel_R1", 0.01).bind_variable("v_R1", 0.01 * domain)
+        fbs = execute_plan(
+            FilterBTreeScan("R1", "a", predicate),
+            database1, bindings, workload1.query.parameter_space,
+        )
+        scan = execute_plan(
+            Filter(FileScan("R1"), predicate),
+            database1, bindings, workload1.query.parameter_space,
+        )
+        assert (
+            fbs.io_snapshot["pages_read"] < scan.io_snapshot["pages_read"]
+        )
+
+    def test_unbound_variable_raises(self, workload1, database1):
+        predicate = workload1.query.selection_for("R1")
+        with pytest.raises(ExecutionError):
+            execute_plan(Filter(FileScan("R1"), predicate), database1)
+
+
+class TestJoinOperators:
+    def _join_inputs(self, workload2):
+        query = workload2.query
+        left = Filter(FileScan("R1"), query.selection_for("R1"))
+        right = Filter(FileScan("R2"), query.selection_for("R2"))
+        predicate = query.join_predicates[0]
+        return left, right, predicate
+
+    def _expected(self, workload2, database2, bindings):
+        return row_multiset(
+            reference_rows(workload2, database2, bindings),
+            ["R1.a", "R1.b", "R2.a", "R2.c"],
+        )
+
+    def test_hash_join_matches_reference(self, workload2, database2):
+        left, right, predicate = self._join_inputs(workload2)
+        bindings = random_bindings(workload2, seed=2)
+        result = execute_plan(
+            HashJoin(left, right, predicate),
+            database2, bindings, workload2.query.parameter_space,
+        )
+        assert row_multiset(
+            result.records, ["R1.a", "R1.b", "R2.a", "R2.c"]
+        ) == self._expected(workload2, database2, bindings)
+
+    def test_hash_join_build_side_irrelevant_for_results(
+        self, workload2, database2
+    ):
+        left, right, predicate = self._join_inputs(workload2)
+        bindings = random_bindings(workload2, seed=2)
+        a = execute_plan(
+            HashJoin(left, right, predicate),
+            database2, bindings, workload2.query.parameter_space,
+        )
+        b = execute_plan(
+            HashJoin(right, left, predicate.flipped()),
+            database2, bindings, workload2.query.parameter_space,
+        )
+        keys = ["R1.a", "R1.b", "R2.a", "R2.c"]
+        assert row_multiset(a.records, keys) == row_multiset(b.records, keys)
+
+    def test_merge_join_matches_reference(self, workload2, database2):
+        left, right, predicate = self._join_inputs(workload2)
+        bindings = random_bindings(workload2, seed=2)
+        plan = MergeJoin(
+            Sort(left, predicate.left_attribute),
+            Sort(right, predicate.right_attribute),
+            predicate,
+        )
+        result = execute_plan(
+            plan, database2, bindings, workload2.query.parameter_space
+        )
+        assert row_multiset(
+            result.records, ["R1.a", "R1.b", "R2.a", "R2.c"]
+        ) == self._expected(workload2, database2, bindings)
+
+    def test_index_join_matches_reference(self, workload2, database2):
+        query = workload2.query
+        left = Filter(FileScan("R1"), query.selection_for("R1"))
+        predicate = query.join_predicates[0]
+        bindings = random_bindings(workload2, seed=2)
+        plan = IndexJoin(
+            left, "R2", "c", predicate,
+            residual_predicate=query.selection_for("R2"),
+        )
+        result = execute_plan(
+            plan, database2, bindings, workload2.query.parameter_space
+        )
+        assert row_multiset(
+            result.records, ["R1.a", "R1.b", "R2.a", "R2.c"]
+        ) == self._expected(workload2, database2, bindings)
+
+    def test_index_join_charges_probes(self, workload2, database2):
+        query = workload2.query
+        predicate = query.join_predicates[0]
+        bindings = random_bindings(workload2, seed=2)
+        plan = IndexJoin(FileScan("R1"), "R2", "c", predicate)
+        result = execute_plan(
+            plan, database2, bindings, workload2.query.parameter_space
+        )
+        assert result.io_snapshot["index_probes"] == workload2.catalog.cardinality(
+            "R1"
+        )
+
+
+class TestSortAndChoosePlan:
+    def test_sort_orders_output(self, workload1, database1):
+        result = execute_plan(Sort(FileScan("R1"), "R1.b"), database1)
+        values = [record["R1.b"] for record in result.records]
+        assert values == sorted(values)
+
+    def test_sort_spills_when_memory_tight(self, workload1, database1):
+        from repro.cost.parameters import Bindings
+
+        bindings = Bindings().bind("memory_pages", 2)
+        result = execute_plan(
+            Sort(FileScan("R1"), "R1.b"),
+            database1,
+            bindings,
+            workload1.query.parameter_space,
+        )
+        assert result.io_snapshot["pages_written"] > 0
+
+    def test_choose_plan_picks_cheap_side(self, workload1, database1):
+        predicate = workload1.query.selection_for("R1")
+        plan = ChoosePlan(
+            [
+                Filter(FileScan("R1"), predicate),
+                FilterBTreeScan("R1", "a", predicate),
+            ]
+        )
+        domain = workload1.catalog.domain_size("R1", "a")
+        low = random_bindings(workload1, seed=3)
+        low.bind("sel_R1", 0.01).bind_variable("v_R1", 0.01 * domain)
+        result = execute_plan(
+            plan, database1, low, workload1.query.parameter_space
+        )
+        assert len(result.decisions) == 1
+        chosen = result.decisions[0][1]
+        assert isinstance(chosen, FilterBTreeScan)
+
+        high = random_bindings(workload1, seed=3)
+        high.bind("sel_R1", 0.95).bind_variable("v_R1", 0.95 * domain)
+        result = execute_plan(
+            plan, database1, high, workload1.query.parameter_space
+        )
+        chosen = result.decisions[0][1]
+        assert isinstance(chosen, Filter)
+
+
+class TestEndToEndPlans:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_all_three_optimizers_agree_on_results(
+        self, workload2, database2, seed
+    ):
+        bindings = random_bindings(workload2, seed=seed)
+        static = optimize_static(workload2.catalog, workload2.query)
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        runtime = optimize_runtime(workload2.catalog, workload2.query, bindings)
+        keys = ["R1.a", "R1.b", "R2.a", "R2.c"]
+        expected = row_multiset(
+            reference_rows(workload2, database2, bindings), keys
+        )
+        for result in (static, dynamic, runtime):
+            executed = execute_plan(
+                result.plan, database2, bindings,
+                workload2.query.parameter_space,
+            )
+            assert row_multiset(executed.records, keys) == expected
+
+    def test_four_way_join_execution(self, workload3, database3):
+        bindings = random_bindings(workload3, seed=1)
+        dynamic = optimize_dynamic(workload3.catalog, workload3.query)
+        executed = execute_plan(
+            dynamic.plan, database3, bindings, workload3.query.parameter_space
+        )
+        expected = reference_rows(workload3, database3, bindings)
+        keys = ["R1.a", "R2.a", "R3.a", "R4.a"]
+        assert row_multiset(executed.records, keys) == row_multiset(
+            expected, keys
+        )
+
+    def test_execution_result_accounting(self, workload2, database2):
+        bindings = random_bindings(workload2, seed=1)
+        static = optimize_static(workload2.catalog, workload2.query)
+        result = execute_plan(
+            static.plan, database2, bindings, workload2.query.parameter_space
+        )
+        assert result.elapsed_seconds > 0
+        assert result.simulated_seconds() > 0
+        assert result.io_snapshot["pages_read"] > 0

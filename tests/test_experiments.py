@@ -1,0 +1,176 @@
+"""The experiment harness: every figure's paper-claimed *shape* must
+hold in the reproduction (small N for test speed; the benchmarks run
+the full configuration)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    figure3_scenarios,
+    figure4_execution_times,
+    figure5_optimization_times,
+    figure6_plan_sizes,
+    figure7_startup_times,
+    figure8_runtime_vs_dynamic,
+    render_figure,
+    render_report,
+    run_all_experiments,
+    table1_algebra,
+)
+from repro.experiments.figures import ExperimentContext, SERIES_SEL
+
+
+@pytest.fixture(scope="module")
+def context():
+    # Queries 1-3 with N=12 keep the suite fast while preserving shape.
+    settings = ExperimentSettings(invocations=12, query_numbers=(1, 2, 3))
+    return ExperimentContext(settings)
+
+
+class TestTable1:
+    def test_algebra_matches_paper(self):
+        table = table1_algebra()
+        assert table["Get-Set"] == ["File-Scan", "B-tree-Scan"]
+        assert table["Select"] == ["Filter", "Filter-B-tree-Scan"]
+        assert table["Join"] == ["Hash-Join", "Merge-Join", "Index-Join"]
+        assert table["Plan Robustness (enforcer)"] == ["Choose-Plan"]
+
+
+class TestFigure3:
+    def test_dynamic_wins_overall(self, context):
+        figure = figure3_scenarios(context, query_number=3)
+        static_total = figure.value_for("static", "query3")
+        dynamic_total = figure.value_for("dynamic plans", "query3")
+        assert dynamic_total < static_total
+
+    def test_g_equals_d_note_present(self, context):
+        figure = figure3_scenarios(context, query_number=3)
+        assert any("g_i = d_i" in note for note in figure.notes)
+
+
+class TestFigure4:
+    def test_dynamic_beats_static_everywhere(self, context):
+        figure = figure4_execution_times(context)
+        for point in figure.points("dynamic, %s" % SERIES_SEL):
+            static_value = figure.value_for(
+                "static, %s" % SERIES_SEL, point["query"]
+            )
+            assert point["value"] < static_value
+
+    def test_gap_grows_with_query_complexity(self, context):
+        figure = figure4_execution_times(context)
+        ratios = [
+            point["ratio"]
+            for point in figure.points("dynamic, %s" % SERIES_SEL)
+        ]
+        # The most complex query's advantage exceeds the simplest's is
+        # not guaranteed pointwise at tiny N, but the largest ratio
+        # must be substantial (paper: up to 24x).
+        assert max(ratios) > 3.0
+
+    def test_all_queries_present(self, context):
+        figure = figure4_execution_times(context)
+        queries = {p["query"] for p in figure.points("static, %s" % SERIES_SEL)}
+        assert queries == {"query1", "query2", "query3"}
+
+
+class TestFigure5:
+    def test_dynamic_optimization_slower_but_bounded(self, context):
+        # Sub-millisecond optimizations of queries 1-2 are dominated by
+        # wall-clock noise, so the shape is asserted on the largest
+        # query only: dynamic costs more than static but within the
+        # paper's small factor (3, with noise headroom).
+        figure = figure5_optimization_times(context)
+        largest = figure.points("dynamic, %s" % SERIES_SEL)[-1]
+        static_value = figure.value_for(
+            "static, %s" % SERIES_SEL, largest["query"]
+        )
+        assert largest["value"] >= static_value * 0.5
+        assert largest["ratio"] < 10.0
+
+
+class TestFigure6:
+    def test_dynamic_plans_much_larger(self, context):
+        figure = figure6_plan_sizes(context)
+        for point in figure.points("dynamic, %s" % SERIES_SEL):
+            static_nodes = figure.value_for(
+                "static, %s" % SERIES_SEL, point["query"]
+            )
+            assert point["value"] > static_nodes
+
+    def test_sizes_grow_with_complexity(self, context):
+        figure = figure6_plan_sizes(context)
+        sizes = [
+            point["value"]
+            for point in figure.points("dynamic, %s" % SERIES_SEL)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 10 * sizes[0]
+
+
+class TestFigure7:
+    def test_startup_grows_with_plan_size(self, context):
+        size_figure = figure6_plan_sizes(context)
+        startup_figure = figure7_startup_times(context)
+        sizes = [
+            point["value"]
+            for point in size_figure.points("dynamic, %s" % SERIES_SEL)
+        ]
+        startups = [
+            point["value"]
+            for point in startup_figure.points("dynamic, %s" % SERIES_SEL)
+        ]
+        assert sizes == sorted(sizes)
+        assert startups[0] < startups[-1]
+
+    def test_decision_counts_recorded(self, context):
+        figure = figure7_startup_times(context)
+        for point in figure.points("dynamic, %s" % SERIES_SEL):
+            assert point["decisions"] >= 1
+            assert point["cost_evaluations"] >= point["decisions"]
+
+
+class TestFigure8:
+    def test_startup_work_far_below_optimization_work(self, context):
+        # The deterministic core of Figure 8: a start-up decision pass
+        # re-evaluates each DAG node's cost function at most once,
+        # while a full run-time optimization evaluates costs for every
+        # candidate it enumerates — several times more.  (The wall-
+        # clock comparison itself is asserted at full scale in
+        # bench_fig8.py; at unit-test scale it is noise-dominated.)
+        bundle = context.bundle(3, False)
+        report = bundle.dynamic_scenario.last_report
+        optimizer_evaluations = (
+            bundle.static.extra["optimizer_statistics"]["cost_evaluations"]
+        )
+        assert report.cost_evaluations < optimizer_evaluations
+        assert report.cost_evaluations <= bundle.dynamic_scenario.plan.node_count()
+
+    def test_breakevens_recorded(self, context):
+        figure = figure8_runtime_vs_dynamic(context)
+        q3 = [
+            point
+            for point in figure.points("dynamic, %s" % SERIES_SEL)
+            if point["query"] == "query3"
+        ][0]
+        assert q3["breakeven_vs_static"] == 1  # paper: consistently 1
+        assert q3["breakeven_vs_runtime"] is None or q3[
+            "breakeven_vs_runtime"
+        ] >= 1
+
+
+class TestRendering:
+    def test_render_figure_contains_series_and_claim(self, context):
+        figure = figure4_execution_times(context)
+        text = render_figure(figure)
+        assert "FIGURE4" in text
+        assert "paper:" in text
+        assert "query3" in text
+
+    def test_render_report_full(self):
+        settings = ExperimentSettings(invocations=3, query_numbers=(1,))
+        figures, table1, settings = run_all_experiments(settings)
+        text = render_report(figures, table1, settings)
+        assert "TABLE 1" in text
+        assert "FIGURE8" in text
+        assert "N=3" in text

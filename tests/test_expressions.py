@@ -1,0 +1,142 @@
+"""Predicates, user variables, and selectivity specifications."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Comparison,
+    ComparisonOp,
+    JoinPredicate,
+    Literal,
+    SelectionPredicate,
+    UserVariable,
+)
+from repro.common.errors import ExecutionError
+from repro.cost.parameters import Bindings
+from repro.storage import Record
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op, left, right, expected",
+        [
+            (ComparisonOp.EQ, 1, 1, True),
+            (ComparisonOp.EQ, 1, 2, False),
+            (ComparisonOp.NE, 1, 2, True),
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LT, 2, 2, False),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 2, 2, True),
+            (ComparisonOp.GE, 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+
+class TestOperands:
+    def test_literal_always_bound(self):
+        literal = Literal(5)
+        assert literal.is_bound
+        assert literal.resolve(None) == 5
+
+    def test_user_variable_unbound_raises(self):
+        variable = UserVariable("v")
+        assert not variable.is_bound
+        with pytest.raises(ExecutionError):
+            variable.resolve(None)
+        with pytest.raises(ExecutionError):
+            variable.resolve(Bindings())
+
+    def test_user_variable_resolves_from_bindings(self):
+        bindings = Bindings().bind_variable("v", 42)
+        assert UserVariable("v").resolve(bindings) == 42
+
+    def test_operand_equality(self):
+        assert Literal(1) == Literal(1)
+        assert Literal(1) != Literal(2)
+        assert UserVariable("v") == UserVariable("v")
+        assert UserVariable("v") != UserVariable("w")
+
+
+class TestComparison:
+    def test_bare_value_coerced_to_literal(self):
+        comparison = Comparison("R.a", ComparisonOp.LT, 10)
+        assert isinstance(comparison.operand, Literal)
+
+    def test_evaluate_against_record(self):
+        comparison = Comparison("R.a", ComparisonOp.LT, 10)
+        assert comparison.evaluate(Record({"R.a": 5}))
+        assert not comparison.evaluate(Record({"R.a": 15}))
+
+    def test_evaluate_with_user_variable(self):
+        comparison = Comparison("R.a", ComparisonOp.GE, UserVariable("v"))
+        bindings = Bindings().bind_variable("v", 7)
+        assert comparison.evaluate(Record({"R.a": 7}), bindings)
+        assert not comparison.evaluate(Record({"R.a": 6}), bindings)
+
+    def test_is_bound(self):
+        assert Comparison("R.a", ComparisonOp.EQ, 1).is_bound
+        assert not Comparison("R.a", ComparisonOp.EQ, UserVariable("v")).is_bound
+
+    def test_hash_and_eq(self):
+        a = Comparison("R.a", ComparisonOp.LT, UserVariable("v"))
+        b = Comparison("R.a", ComparisonOp.LT, UserVariable("v"))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSelectionPredicate:
+    def _uncertain(self):
+        return SelectionPredicate(
+            Comparison("R.a", ComparisonOp.LT, UserVariable("v")),
+            selectivity_parameter="sel_R",
+        )
+
+    def test_requires_selectivity_information(self):
+        with pytest.raises(ValueError):
+            SelectionPredicate(Comparison("R.a", ComparisonOp.LT, 5))
+
+    def test_uncertain_flag(self):
+        assert self._uncertain().is_uncertain
+        known = SelectionPredicate(
+            Comparison("R.a", ComparisonOp.LT, 5), known_selectivity=0.3
+        )
+        assert not known.is_uncertain
+
+    def test_default_expected_selectivity_is_paper_default(self):
+        assert self._uncertain().expected_selectivity == 0.05
+
+    def test_default_bounds_are_zero_one(self):
+        bounds = self._uncertain().selectivity_bounds
+        assert (bounds.lower, bounds.upper) == (0.0, 1.0)
+
+    def test_attribute_property(self):
+        assert self._uncertain().attribute == "R.a"
+
+    def test_evaluate_delegates_to_comparison(self):
+        bindings = Bindings().bind_variable("v", 10)
+        assert self._uncertain().evaluate(Record({"R.a": 5}), bindings)
+
+    def test_equality(self):
+        assert self._uncertain() == self._uncertain()
+
+
+class TestJoinPredicate:
+    def test_evaluate(self):
+        predicate = JoinPredicate("R.b", "S.c")
+        assert predicate.evaluate(Record({"R.b": 1}), Record({"S.c": 1}))
+        assert not predicate.evaluate(Record({"R.b": 1}), Record({"S.c": 2}))
+
+    def test_attribute_for(self):
+        predicate = JoinPredicate("R.b", "S.c")
+        assert predicate.attribute_for("R") == "R.b"
+        assert predicate.attribute_for("S") == "S.c"
+        assert predicate.attribute_for("T") is None
+
+    def test_flipped_is_equal(self):
+        predicate = JoinPredicate("R.b", "S.c")
+        assert predicate.flipped() == predicate
+        assert hash(predicate.flipped()) == hash(predicate)
+
+    def test_inequality(self):
+        assert JoinPredicate("R.b", "S.c") != JoinPredicate("R.b", "S.d")

@@ -1,0 +1,190 @@
+"""The SQL front end: tokenizer, parser, binder, selectivity estimates."""
+
+import pytest
+
+from repro.algebra.expressions import ComparisonOp
+from repro.frontend import parse_query
+from repro.frontend.sql import SqlSyntaxError, tokenize
+from repro.optimizer import optimize_dynamic, optimize_static
+
+
+@pytest.fixture(scope="module")
+def catalog(workload2):
+    return workload2.catalog
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM R1 WHERE R1.a < :v")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            "keyword", "punct", "keyword", "name", "keyword",
+            "name", "punct", "name", "op", "param", "eof",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from R1")
+        assert tokens[0].kind == "keyword" and tokens[0].value == "SELECT"
+
+    def test_numbers(self):
+        tokens = tokenize("12 3.5")
+        assert [token.value for token in tokens[:-1]] == ["12", "3.5"]
+
+    def test_two_character_operators(self):
+        tokens = tokenize("<= >= <>")
+        assert [token.value for token in tokens[:-1]] == ["<=", ">=", "<>"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ! FROM R1")
+
+
+class TestParserErrors:
+    def test_missing_from(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * R1", catalog)
+
+    def test_unqualified_select_list_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT a FROM R1", catalog)
+
+    def test_select_list_with_unknown_attribute_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT R1.zzz FROM R1", catalog)
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM ZZZ", catalog)
+
+    def test_unknown_attribute(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM R1 WHERE R1.zzz < 5", catalog)
+
+    def test_attribute_outside_from(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(
+                "SELECT * FROM R1 WHERE R2.a < 5", catalog
+            )
+
+    def test_non_equi_join_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(
+                "SELECT * FROM R1, R2 WHERE R1.b < R2.c", catalog
+            )
+
+    def test_literal_vs_literal_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM R1 WHERE 1 = 1", catalog)
+
+    def test_duplicate_relation_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM R1, R1", catalog)
+
+    def test_two_selections_on_one_relation_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(
+                "SELECT * FROM R1 WHERE R1.a < 5 AND R1.b > 2", catalog
+            )
+
+    def test_trailing_garbage_rejected(self, catalog):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT * FROM R1 LIMIT 5", catalog)
+
+
+class TestBinding:
+    def test_host_variable_predicate_is_uncertain(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1 WHERE R1.a < :v", catalog
+        )
+        predicate = spec.selection_for("R1")
+        assert predicate.is_uncertain
+        assert predicate.selectivity_parameter == "sel_R1"
+        assert spec.uncertain_variable_count() == 1
+
+    def test_join_and_selections(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1, R2 "
+            "WHERE R1.a < :v1 AND R1.b = R2.c AND R2.a < :v2",
+            catalog,
+        )
+        assert set(spec.relations) == {"R1", "R2"}
+        assert len(spec.join_predicates) == 1
+        assert spec.uncertain_variable_count() == 2
+
+    def test_literal_predicate_is_known(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1 WHERE R1.a = 5", catalog
+        )
+        predicate = spec.selection_for("R1")
+        assert not predicate.is_uncertain
+        domain = catalog.domain_size("R1", "a")
+        assert predicate.known_selectivity == pytest.approx(1.0 / domain)
+
+    def test_range_literal_selectivity(self, catalog):
+        domain = catalog.domain_size("R1", "a")
+        half = domain // 2
+        spec = parse_query(
+            "SELECT * FROM R1 WHERE R1.a < %d" % half, catalog
+        )
+        selectivity = spec.selection_for("R1").known_selectivity
+        assert selectivity == pytest.approx(0.5, abs=0.05)
+
+    def test_flipped_operand_order(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1 WHERE 10 > R1.a", catalog
+        )
+        predicate = spec.selection_for("R1")
+        assert predicate.comparison.op is ComparisonOp.LT
+
+    def test_memory_uncertainty_flag(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1 WHERE R1.a < :v",
+            catalog,
+            memory_uncertain=True,
+        )
+        assert spec.parameter_space.get("memory_pages").uncertain
+
+
+class TestEndToEnd:
+    def test_sql_query_optimizes_like_builtin_workload(self, workload2):
+        sql = (
+            "SELECT * FROM R1, R2 "
+            "WHERE R1.a < :v_R1 AND R2.a < :v_R2 AND R1.b = R2.c"
+        )
+        spec = parse_query(sql, workload2.catalog)
+        from_sql = optimize_dynamic(workload2.catalog, spec)
+        builtin = optimize_dynamic(workload2.catalog, workload2.query)
+        assert from_sql.plan.signature() == builtin.plan.signature()
+
+    def test_sql_query_executes(self, workload2, database2):
+        from repro.cost.parameters import Bindings
+        from repro.executor import execute_plan
+
+        spec = parse_query(
+            "SELECT * FROM R1, R2 "
+            "WHERE R1.a < :v_R1 AND R1.b = R2.c",
+            workload2.catalog,
+        )
+        result = optimize_static(workload2.catalog, spec)
+        domain = workload2.catalog.domain_size("R1", "a")
+        bindings = Bindings().bind("sel_R1", 0.3).bind_variable(
+            "v_R1", 0.3 * domain
+        )
+        executed = execute_plan(
+            result.plan, database2, bindings, spec.parameter_space
+        )
+        assert executed.row_count > 0
+
+    def test_literal_only_query_is_fully_static(self, catalog):
+        spec = parse_query(
+            "SELECT * FROM R1, R2 WHERE R1.a < 50 AND R1.b = R2.c",
+            catalog,
+        )
+        assert spec.uncertain_variable_count() == 0
+        dynamic = optimize_dynamic(catalog, spec)
+        static = optimize_static(catalog, spec)
+        # No uncertainty: the dynamic plan's cost interval is a point
+        # matching the static optimum (up to kept equal-cost ties).
+        assert dynamic.cost.lower == pytest.approx(
+            static.cost.lower, rel=1e-9
+        )

@@ -1,0 +1,147 @@
+"""End-to-end integration: compile -> serialize -> activate -> execute.
+
+The full production lifecycle of a dynamic plan, exercised on real
+stored data, with results checked against an independent reference
+evaluation and costs checked against the optimality guarantee.
+"""
+
+import pytest
+
+from repro import (
+    AccessModule,
+    Database,
+    execute_plan,
+    optimize_dynamic,
+    optimize_runtime,
+    optimize_static,
+    populate_database,
+)
+from repro.executor import activate_plan
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import binding_series, make_join_workload
+
+from tests._reference import reference_rows, row_multiset
+
+
+@pytest.fixture(scope="module")
+def star3():
+    workload = make_join_workload(3, topology="star", seed=5)
+    database = Database(workload.catalog)
+    populate_database(database, seed=5)
+    return workload, database
+
+
+class TestFullLifecycle:
+    def test_compile_store_activate_execute(self, workload2, database2):
+        query = workload2.query
+        # 1. Compile once.
+        dynamic = optimize_dynamic(workload2.catalog, query)
+        # 2. Store the access module (this is what survives restarts).
+        payload = AccessModule.from_plan(dynamic.plan, query.name).to_bytes()
+
+        keys = ["R1.a", "R2.a"]
+        for bindings in binding_series(workload2, count=5, seed=21):
+            # 3. Activate: read module, run decision procedures.
+            module = AccessModule.from_bytes(payload)
+            plan = module.materialize()
+            chosen, report = activate_plan(
+                plan, workload2.catalog, query.parameter_space, bindings
+            )
+            assert chosen.choose_plan_count() == 0
+            assert report.total_seconds > 0
+            # 4. Execute and compare against the reference evaluation.
+            executed = execute_plan(
+                chosen, database2, bindings, query.parameter_space
+            )
+            expected = reference_rows(workload2, database2, bindings)
+            assert row_multiset(executed.records, keys) == row_multiset(
+                expected, keys
+            )
+            # 5. The guarantee: chosen cost equals run-time optimum.
+            optimum = optimize_runtime(workload2.catalog, query, bindings)
+            assert predicted_execution_seconds(
+                chosen, workload2.catalog, query.parameter_space, bindings
+            ) == pytest.approx(
+                predicted_execution_seconds(
+                    optimum.plan, workload2.catalog,
+                    query.parameter_space, bindings,
+                ),
+                rel=1e-9,
+            )
+
+    def test_star_topology_end_to_end(self, star3):
+        workload, database = star3
+        query = workload.query
+        dynamic = optimize_dynamic(workload.catalog, query)
+        static = optimize_static(workload.catalog, query)
+        keys = ["%s.a" % relation for relation in query.relations]
+        for bindings in binding_series(workload, count=4, seed=9):
+            expected = row_multiset(
+                reference_rows(workload, database, bindings), keys
+            )
+            for plan in (dynamic.plan, static.plan):
+                executed = execute_plan(
+                    plan, database, bindings, query.parameter_space
+                )
+                assert row_multiset(executed.records, keys) == expected
+
+    def test_executed_io_tracks_cost_model_ranking(self, workload1,
+                                                   database1):
+        """The cost model must rank plans like the real substrate does:
+        whichever scan the decision procedure picks must also read
+        fewer simulated pages when actually executed."""
+        from repro.algebra.physical import FileScan, Filter, FilterBTreeScan
+        from repro.workloads import random_bindings
+
+        predicate = workload1.query.selection_for("R1")
+        domain = workload1.catalog.domain_size("R1", "a")
+        space = workload1.query.parameter_space
+        for selectivity in (0.02, 0.25, 0.6, 0.95):
+            bindings = random_bindings(workload1, seed=1)
+            bindings.bind("sel_R1", selectivity)
+            bindings.bind_variable("v_R1", selectivity * domain)
+            file_plan = Filter(FileScan("R1"), predicate)
+            index_plan = FilterBTreeScan("R1", "a", predicate)
+            predicted_file = predicted_execution_seconds(
+                file_plan, workload1.catalog, space, bindings
+            )
+            predicted_index = predicted_execution_seconds(
+                index_plan, workload1.catalog, space, bindings
+            )
+            executed_file = execute_plan(
+                file_plan, database1, bindings, space
+            ).io_snapshot["pages_read"]
+            executed_index = execute_plan(
+                index_plan, database1, bindings, space
+            ).io_snapshot["pages_read"]
+            if predicted_index < predicted_file * 0.7:
+                assert executed_index < executed_file
+            elif predicted_file < predicted_index * 0.7:
+                assert executed_file < executed_index
+
+    def test_dynamic_plan_executes_directly_with_choose_iterators(
+        self, workload2, database2
+    ):
+        """Executing the *unresolved* dynamic plan must behave exactly
+        like resolving first: the choose-plan iterator decides at
+        open."""
+        from repro.executor import resolve_dynamic_plan
+        from repro.workloads import random_bindings
+
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        bindings = random_bindings(workload2, seed=33)
+        direct = execute_plan(
+            dynamic.plan, database2, bindings, workload2.query.parameter_space
+        )
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload2.catalog,
+            workload2.query.parameter_space, bindings,
+        )
+        resolved = execute_plan(
+            chosen, database2, bindings, workload2.query.parameter_space
+        )
+        keys = ["R1.a", "R2.a"]
+        assert row_multiset(direct.records, keys) == row_multiset(
+            resolved.records, keys
+        )
+        assert len(direct.decisions) >= 1

@@ -1,0 +1,63 @@
+"""Performance regression guards.
+
+Loose wall-clock ceilings (10x typical) that catch accidental
+exponential blow-ups — e.g. an unmemoized DAG walk or a rule-closure
+regression — without flaking on machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro.executor import AccessModule, resolve_dynamic_plan
+from repro.optimizer import optimize_dynamic, optimize_static
+from repro.workloads import paper_workload, random_bindings
+
+
+@pytest.fixture(scope="module")
+def query5():
+    return paper_workload(5, seed=0)
+
+
+class TestOptimizationScale:
+    def test_query5_dynamic_optimization_under_two_seconds(self, query5):
+        started = time.perf_counter()
+        result = optimize_dynamic(query5.catalog, query5.query)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0, "q5 dynamic optimization took %.2fs" % elapsed
+        assert result.node_count() > 500  # sanity: the full plan space
+
+    def test_query5_static_optimization_under_one_second(self, query5):
+        started = time.perf_counter()
+        optimize_static(query5.catalog, query5.query)
+        assert time.perf_counter() - started < 1.0
+
+    def test_query5_startup_resolution_under_half_second(self, query5):
+        dynamic = optimize_dynamic(query5.catalog, query5.query)
+        bindings = random_bindings(query5, seed=0)
+        started = time.perf_counter()
+        resolve_dynamic_plan(
+            dynamic.plan, query5.catalog, query5.query.parameter_space,
+            bindings,
+        )
+        assert time.perf_counter() - started < 0.5
+
+    def test_query5_plan_metrics_linear_time(self, query5):
+        dynamic = optimize_dynamic(query5.catalog, query5.query)
+        started = time.perf_counter()
+        # tree_node_count is astronomically large but must be computed
+        # by DP over the DAG, not by expansion.
+        assert dynamic.plan.tree_node_count() > 10 ** 6
+        dynamic.plan.node_count()
+        dynamic.plan.signature()
+        assert time.perf_counter() - started < 0.5
+
+    def test_query5_module_round_trip_under_half_second(self, query5):
+        dynamic = optimize_dynamic(query5.catalog, query5.query)
+        started = time.perf_counter()
+        module = AccessModule.from_plan(dynamic.plan, "q5")
+        module.materialize()
+        assert time.perf_counter() - started < 0.5
+        # Module stays proportional to the DAG (the paper's argument
+        # for why dynamic-plan modules are practical).
+        assert module.byte_size < dynamic.node_count() * 1000

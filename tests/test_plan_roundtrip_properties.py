@@ -1,0 +1,150 @@
+"""Property-based round-trips over randomly generated physical plans.
+
+Hypothesis builds random plan DAGs from the full physical algebra and
+checks that serialization, cost evaluation, and structural identity
+are mutually consistent.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import (
+    Comparison,
+    ComparisonOp,
+    JoinPredicate,
+    SelectionPredicate,
+    UserVariable,
+)
+from repro.algebra.physical import (
+    BTreeScan,
+    ChoosePlan,
+    FileScan,
+    Filter,
+    FilterBTreeScan,
+    HashJoin,
+    IndexJoin,
+    MergeJoin,
+    Project,
+    Sort,
+)
+from repro.catalog import build_synthetic_catalog, default_relation_specs
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import Bindings, Parameter, ParameterSpace, Valuation
+from repro.executor.access_module import AccessModule
+
+RELATIONS = ("R1", "R2")
+ATTRIBUTES = ("a", "b", "c")
+
+
+def _predicate(relation):
+    return SelectionPredicate(
+        Comparison(
+            "%s.a" % relation, ComparisonOp.LT, UserVariable("v_%s" % relation)
+        ),
+        selectivity_parameter="sel_%s" % relation,
+    )
+
+
+@st.composite
+def leaf_plans(draw):
+    relation = draw(st.sampled_from(RELATIONS))
+    kind = draw(st.sampled_from(["file", "btree", "fbs"]))
+    if kind == "file":
+        return Filter(FileScan(relation), _predicate(relation))
+    if kind == "btree":
+        return BTreeScan(relation, draw(st.sampled_from(ATTRIBUTES)))
+    return FilterBTreeScan(relation, "a", _predicate(relation))
+
+
+@st.composite
+def plans(draw, depth=3):
+    if depth <= 0:
+        return draw(leaf_plans())
+    kind = draw(
+        st.sampled_from(
+            ["leaf", "sort", "project", "hash", "merge", "index", "choose"]
+        )
+    )
+    if kind == "leaf":
+        return draw(leaf_plans())
+    if kind == "sort":
+        child = draw(plans(depth=depth - 1))
+        return Sort(child, "R1.b")
+    if kind == "project":
+        child = draw(plans(depth=depth - 1))
+        return Project(child, ("R1.a",))
+    if kind == "choose":
+        first = draw(plans(depth=depth - 1))
+        second = draw(plans(depth=depth - 1))
+        return ChoosePlan([first, second])
+    predicate = JoinPredicate("R1.b", "R2.c")
+    if kind == "index":
+        outer = draw(plans(depth=depth - 1))
+        return IndexJoin(outer, "R2", "c", predicate)
+    left = draw(plans(depth=depth - 1))
+    right = draw(plans(depth=depth - 1))
+    if kind == "hash":
+        return HashJoin(left, right, predicate)
+    return MergeJoin(left, right, predicate)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_synthetic_catalog(default_relation_specs(2, seed=0), seed=0)
+
+
+def _space():
+    return ParameterSpace(
+        [Parameter.selectivity("sel_R1"), Parameter.selectivity("sel_R2")]
+    )
+
+
+class TestRandomPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plans())
+    def test_serialization_round_trip(self, plan):
+        module = AccessModule.from_plan(plan, "random")
+        rebuilt = module.materialize()
+        assert rebuilt.signature() == plan.signature()
+        assert rebuilt.node_count() == plan.node_count()
+        assert rebuilt.choose_plan_count() == plan.choose_plan_count()
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plans())
+    def test_round_trip_preserves_costs(self, catalog, plan):
+        model_a = CostModel(catalog, Valuation.bounds(_space()))
+        model_b = CostModel(catalog, Valuation.bounds(_space()))
+        rebuilt = AccessModule.from_plan(plan, "random").materialize()
+        cost_a = model_a.evaluate(plan).cost
+        cost_b = model_b.evaluate(rebuilt).cost
+        assert cost_a.lower == pytest.approx(cost_b.lower)
+        assert cost_a.upper == pytest.approx(cost_b.upper)
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=plans(), sel1=st.floats(0, 1), sel2=st.floats(0, 1))
+    def test_runtime_cost_within_compile_interval(self, catalog, plan,
+                                                  sel1, sel2):
+        space = _space()
+        compile_cost = CostModel(
+            catalog, Valuation.bounds(space)
+        ).evaluate(plan).cost
+        bindings = Bindings().bind("sel_R1", sel1).bind("sel_R2", sel2)
+        runtime_cost = CostModel(
+            catalog, Valuation.runtime(space, bindings)
+        ).evaluate(plan).cost
+        tolerance = 1e-9 + compile_cost.upper * 1e-9
+        assert compile_cost.lower - tolerance <= runtime_cost.lower
+        assert runtime_cost.upper <= compile_cost.upper + tolerance
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=plans())
+    def test_node_counts_consistent(self, plan):
+        distinct = plan.node_count()
+        expanded = plan.tree_node_count()
+        assert distinct <= expanded
+        assert len(list(plan.walk_unique())) == distinct
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=plans())
+    def test_signature_deterministic(self, plan):
+        assert plan.signature() == plan.signature()

@@ -1,0 +1,105 @@
+"""The persistent plan store: compile once, activate across restarts."""
+
+import pytest
+
+from repro.common.errors import ExecutionError, InfeasiblePlanError
+from repro.executor import PlanStore, execute_plan
+from repro.optimizer import optimize_dynamic
+from repro.workloads import paper_workload, random_bindings
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PlanStore(tmp_path / "plans")
+
+
+class TestStoreAndLoad:
+    def test_compile_persists_module(self, store, workload2):
+        result = store.compile(workload2.catalog, workload2.query)
+        assert store.contains(workload2.query.name)
+        module = store.load(workload2.query.name)
+        assert module.node_count == result.node_count()
+        assert (
+            module.materialize().signature() == result.plan.signature()
+        )
+
+    def test_names_listing(self, store, workload1, workload2):
+        store.compile(workload1.catalog, workload1.query)
+        store.compile(workload2.catalog, workload2.query)
+        assert store.names() == sorted(
+            [workload1.query.name, workload2.query.name]
+        )
+
+    def test_missing_plan_raises(self, store):
+        with pytest.raises(ExecutionError):
+            store.load("nope")
+
+    def test_remove(self, store, workload1):
+        store.compile(workload1.catalog, workload1.query)
+        store.remove(workload1.query.name)
+        assert not store.contains(workload1.query.name)
+        store.remove(workload1.query.name)  # idempotent
+
+    def test_unsafe_names_sanitized(self, store, workload1):
+        result = optimize_dynamic(workload1.catalog, workload1.query)
+        store.store(result.plan, "weird/name with spaces!")
+        assert store.contains("weird/name with spaces!")
+        loaded = store.load("weird/name with spaces!")
+        assert loaded.node_count == result.node_count()
+
+
+class TestActivationAcrossRestart:
+    def test_activate_resolves_and_runs(self, tmp_path, workload2,
+                                        database2):
+        # "Process one": compile and persist.
+        PlanStore(tmp_path / "plans").compile(
+            workload2.catalog, workload2.query
+        )
+        # "Process two": a fresh store over the same directory.
+        store = PlanStore(tmp_path / "plans")
+        bindings = random_bindings(workload2, seed=6)
+        chosen, report = store.activate(
+            workload2.query.name,
+            workload2.catalog,
+            workload2.query.parameter_space,
+            bindings,
+        )
+        assert chosen.choose_plan_count() == 0
+        assert report.decisions > 0
+        executed = execute_plan(
+            chosen, database2, bindings, workload2.query.parameter_space
+        )
+        assert executed.row_count >= 0
+
+    def test_activation_validates_against_current_catalog(self, tmp_path):
+        workload = paper_workload(1, seed=0)
+        store = PlanStore(tmp_path / "plans")
+        store.compile(workload.catalog, workload.query)
+        # Catalog drift between compile and activation.
+        workload.catalog.drop_index("R1", "a")
+        bindings = random_bindings(workload, seed=0)
+        chosen, _ = store.activate(
+            workload.query.name,
+            workload.catalog,
+            workload.query.parameter_space,
+            bindings,
+        )
+        operators = [n.operator_name() for n in chosen.walk_unique()]
+        assert "Filter-B-tree-Scan" not in operators
+
+    def test_static_plan_becomes_infeasible(self, tmp_path):
+        from repro.optimizer import optimize_static
+
+        workload = paper_workload(1, seed=0)
+        store = PlanStore(tmp_path / "plans")
+        result = optimize_static(workload.catalog, workload.query)
+        store.store(result.plan, "static-q1")
+        workload.catalog.drop_index("R1", "a")
+        bindings = random_bindings(workload, seed=0)
+        with pytest.raises(InfeasiblePlanError):
+            store.activate(
+                "static-q1",
+                workload.catalog,
+                workload.query.parameter_space,
+                bindings,
+            )

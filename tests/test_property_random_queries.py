@@ -1,0 +1,104 @@
+"""Property-based tests over randomly generated queries.
+
+Hypothesis builds random workloads (topology, relation count, seeds)
+and checks the library's core invariants on each:
+
+* the optimality guarantee g_i = d_i,
+* compile-time interval containment of all runtime costs,
+* dominance pruning soundness (dynamic matches exhaustive),
+* access-module round-trip identity.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import Valuation
+from repro.executor import AccessModule, resolve_dynamic_plan
+from repro.optimizer import optimize_dynamic, optimize_runtime
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import make_join_workload, random_bindings
+
+
+@st.composite
+def workloads(draw):
+    topology = draw(st.sampled_from(["chain", "star", "cycle"]))
+    relation_count = draw(st.integers(min_value=1, max_value=4))
+    if topology == "cycle" and relation_count < 3:
+        relation_count = 3
+    seed = draw(st.integers(0, 50))
+    memory_uncertain = draw(st.booleans())
+    return make_join_workload(
+        relation_count,
+        topology=topology,
+        memory_uncertain=memory_uncertain,
+        seed=seed,
+    )
+
+
+class TestRandomQueryInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(workload=workloads(), binding_seed=st.integers(0, 1000))
+    def test_optimality_guarantee(self, workload, binding_seed):
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        bindings = random_bindings(workload, seed=binding_seed)
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        chosen_cost = predicted_execution_seconds(
+            chosen, workload.catalog, workload.query.parameter_space, bindings
+        )
+        optimum = optimize_runtime(workload.catalog, workload.query, bindings)
+        optimal_cost = predicted_execution_seconds(
+            optimum.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        assert chosen_cost == pytest.approx(optimal_cost, rel=1e-9)
+
+    @settings(max_examples=12, deadline=None)
+    @given(workload=workloads(), binding_seed=st.integers(0, 1000))
+    def test_interval_containment_of_runtime_costs(self, workload,
+                                                   binding_seed):
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        compile_model = CostModel(
+            workload.catalog, Valuation.bounds(workload.query.parameter_space)
+        )
+        bindings = random_bindings(workload, seed=binding_seed)
+        runtime_model = CostModel(
+            workload.catalog,
+            Valuation.runtime(workload.query.parameter_space, bindings),
+        )
+        for node in dynamic.plan.walk_unique():
+            compile_cost = compile_model.evaluate(node).cost
+            runtime_cost = runtime_model.evaluate(node).cost
+            tolerance = 1e-9 + compile_cost.upper * 1e-9
+            assert compile_cost.lower - tolerance <= runtime_cost.lower
+            assert runtime_cost.upper <= compile_cost.upper + tolerance
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads())
+    def test_access_module_round_trip(self, workload):
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        module = AccessModule.from_plan(dynamic.plan, workload.name)
+        rebuilt = module.materialize()
+        assert rebuilt.signature() == dynamic.plan.signature()
+        assert rebuilt.node_count() == dynamic.plan.node_count()
+
+    @settings(max_examples=8, deadline=None)
+    @given(workload=workloads(), binding_seed=st.integers(0, 1000))
+    def test_dynamic_cost_interval_contains_chosen_cost(self, workload,
+                                                        binding_seed):
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        bindings = random_bindings(workload, seed=binding_seed)
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        chosen_cost = predicted_execution_seconds(
+            chosen, workload.catalog, workload.query.parameter_space, bindings
+        )
+        # The dynamic plan's compile-time interval brackets every
+        # chosen execution cost (up to the decision overhead included
+        # in the interval but not in pure execution).
+        assert chosen_cost <= dynamic.cost.upper + 1e-9

@@ -1,0 +1,102 @@
+"""Report rendering: tables, CSV export, ASCII charts."""
+
+import pytest
+
+from repro.experiments.report import (
+    figure_to_csv,
+    render_ascii_chart,
+    render_figure,
+    render_table1,
+)
+from repro.experiments.results import FigureResult
+
+
+@pytest.fixture()
+def figure():
+    result = FigureResult(
+        "figureX", "Test figure", "x", "y", "claim text"
+    )
+    result.add_point("static", "q1", 1, 10.0)
+    result.add_point("static", "q2", 2, 100.0)
+    result.add_point("dynamic", "q1", 1, 1.0, ratio=10.0)
+    result.add_point("dynamic", "q2", 2, 5.0, ratio=20.0)
+    result.add_note("a note")
+    return result
+
+
+class TestFigureResult:
+    def test_value_for(self, figure):
+        assert figure.value_for("static", "q2") == 100.0
+        with pytest.raises(KeyError):
+            figure.value_for("static", "zzz")
+
+    def test_points_keep_extras(self, figure):
+        assert figure.points("dynamic")[1]["ratio"] == 20.0
+
+
+class TestRenderFigure:
+    def test_contains_all_rows_and_series(self, figure):
+        text = render_figure(figure)
+        assert "FIGUREX" in text
+        assert "claim text" in text
+        assert "q1" in text and "q2" in text
+        assert "static" in text and "dynamic" in text
+        assert "a note" in text
+
+    def test_small_values_keep_precision(self, figure):
+        figure.add_point("static", "q3", 3, 0.00042)
+        text = render_figure(figure)
+        assert "0.00042" in text
+
+
+class TestTable1Rendering:
+    def test_render(self):
+        text = render_table1({"Get-Set": ["File-Scan"]})
+        assert "TABLE 1" in text
+        assert "File-Scan" in text
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, figure):
+        csv = figure_to_csv(figure)
+        lines = csv.strip().split("\n")
+        assert lines[0] == "query,uncertain_variables,series,value"
+        assert len(lines) == 5
+        assert any("q2,2,static,100.0" in line for line in lines)
+
+    def test_commas_in_series_names_escaped(self):
+        result = FigureResult("f", "t", "x", "y", "c")
+        result.add_point("a, b", "q1", 1, 1.0)
+        csv = figure_to_csv(result)
+        assert "a; b" in csv
+
+
+class TestAsciiChart:
+    def test_chart_renders_all_points(self, figure):
+        chart = render_ascii_chart(figure)
+        assert "log scale" in chart
+        assert chart.count("|") == 4
+        assert "q2 static" in chart
+
+    def test_larger_values_longer_bars(self, figure):
+        chart = render_ascii_chart(figure)
+        lines = {
+            line.split("|")[0].strip(): len(line.split("|")[1])
+            for line in chart.splitlines()[1:]
+        }
+        assert lines["q2 static"] > lines["q1 dynamic"]
+
+    def test_linear_scale(self, figure):
+        chart = render_ascii_chart(figure, log_scale=False)
+        assert "linear" in chart
+
+    def test_empty_figure(self):
+        empty = FigureResult("f", "t", "x", "y", "c")
+        assert render_ascii_chart(empty) == "(no data)"
+
+    def test_zero_values_handled(self):
+        result = FigureResult("f", "t", "x", "y", "c")
+        result.add_point("s", "q1", 1, 0.0)
+        result.add_point("s", "q2", 2, 5.0)
+        chart = render_ascii_chart(result)
+        assert "0" in chart

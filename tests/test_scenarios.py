@@ -1,0 +1,195 @@
+"""The three optimization scenarios, break-even analysis, and the
+conditional re-optimization extension."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.common.units import CATALOG_VALIDATION_SECONDS
+from repro.optimizer import optimize_dynamic
+from repro.scenarios import (
+    ConditionalReoptimizationScenario,
+    DynamicPlanScenario,
+    InvocationRecord,
+    RunTimeOptimizationScenario,
+    ScenarioResult,
+    StaticPlanScenario,
+    breakeven_runtime_vs_dynamic,
+    breakeven_static_vs_dynamic,
+    predicted_execution_seconds,
+)
+from repro.workloads import binding_series, random_bindings
+
+
+@pytest.fixture(scope="module")
+def series2(workload2):
+    return binding_series(workload2, count=10, seed=13)
+
+
+@pytest.fixture(scope="module")
+def static2(workload2, series2):
+    return StaticPlanScenario(workload2).run_series(series2)
+
+
+@pytest.fixture(scope="module")
+def dynamic2(workload2, series2):
+    return DynamicPlanScenario(workload2).run_series(series2)
+
+
+@pytest.fixture(scope="module")
+def runtime2(workload2, series2):
+    return RunTimeOptimizationScenario(workload2).run_series(series2)
+
+
+class TestPredictedExecutionSeconds:
+    def test_rejects_unresolved_dynamic_plans(self, workload2):
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        bindings = random_bindings(workload2, seed=0)
+        with pytest.raises(PlanError):
+            predicted_execution_seconds(
+                dynamic.plan, workload2.catalog,
+                workload2.query.parameter_space, bindings,
+            )
+
+
+class TestInvocationRecord:
+    def test_run_time_effort_sums_components(self):
+        record = InvocationRecord(1.0, 2.0, 3.0)
+        assert record.run_time_effort == 6.0
+
+
+class TestScenarioResult:
+    def test_averages(self):
+        records = [InvocationRecord(0.0, 1.0, 2.0),
+                   InvocationRecord(0.0, 3.0, 4.0)]
+        result = ScenarioResult("x", 5.0, records, 10)
+        assert result.average_activation_seconds == 2.0
+        assert result.average_execution_seconds == 3.0
+        assert result.total_effort() == 5.0 + 10.0
+
+    def test_empty_series(self):
+        result = ScenarioResult("x", 0.0, [], 0)
+        assert result.average_execution_seconds == 0.0
+        assert result.average_run_time_effort == 0.0
+
+
+class TestStaticScenario:
+    def test_activation_constant_across_invocations(self, workload2, series2,
+                                                    static2):
+        activations = {r.activation_seconds for r in static2.invocations}
+        assert len(activations) == 1
+        assert activations.pop() >= CATALOG_VALIDATION_SECONDS
+
+    def test_no_per_invocation_optimization(self, static2):
+        assert all(r.optimize_seconds == 0.0 for r in static2.invocations)
+
+    def test_execution_varies_with_bindings(self, static2):
+        costs = {round(r.execution_seconds, 6) for r in static2.invocations}
+        assert len(costs) > 1
+
+
+class TestRuntimeScenario:
+    def test_pays_optimization_every_invocation(self, runtime2):
+        assert all(r.optimize_seconds > 0 for r in runtime2.invocations)
+        assert runtime2.compile_seconds == 0.0
+
+    def test_no_activation_cost(self, runtime2):
+        assert all(r.activation_seconds == 0.0 for r in runtime2.invocations)
+
+
+class TestDynamicScenario:
+    def test_activation_exceeds_static(self, static2, dynamic2):
+        assert (
+            dynamic2.average_activation_seconds
+            > static2.average_activation_seconds
+        )
+
+    def test_execution_beats_static(self, static2, dynamic2):
+        assert (
+            dynamic2.average_execution_seconds
+            < static2.average_execution_seconds
+        )
+
+    def test_matches_runtime_execution(self, dynamic2, runtime2):
+        # The optimality guarantee seen through the scenario layer.
+        assert dynamic2.average_execution_seconds == pytest.approx(
+            runtime2.average_execution_seconds, rel=1e-9
+        )
+
+    def test_extra_metadata_present(self, dynamic2):
+        assert dynamic2.extra["choose_plan_count"] >= 1
+        assert "optimizer_statistics" in dynamic2.extra
+
+    def test_cpu_scale_scales_compile_time(self, workload2, series2):
+        unscaled = DynamicPlanScenario(workload2, cpu_scale=1.0)
+        scaled = DynamicPlanScenario(workload2, cpu_scale=100.0)
+        u = unscaled.run_series(series2[:2])
+        s = scaled.run_series(series2[:2])
+        # Same optimizer, but wall-clock noise: compare within 100x
+        # bands rather than exactly.
+        assert s.compile_seconds > u.compile_seconds
+
+
+class TestBreakeven:
+    def test_static_vs_dynamic_is_one_for_paper_queries(self, static2,
+                                                        dynamic2):
+        # Paper Section 6: "the break-even points are consistently as
+        # low as N = 1".
+        assert breakeven_static_vs_dynamic(static2, dynamic2) == 1
+
+    def test_runtime_vs_dynamic_none_when_activation_dominates(self):
+        runtime = ScenarioResult(
+            "rt", 0.0, [InvocationRecord(0.01, 0.0, 1.0)], 0
+        )
+        dynamic = ScenarioResult(
+            "dyn", 5.0, [InvocationRecord(0.0, 0.5, 1.0)], 0
+        )
+        assert breakeven_runtime_vs_dynamic(runtime, dynamic) is None
+
+    def test_runtime_vs_dynamic_formula(self):
+        # e = 6, a = 3, f = 1  ->  ceil(6 / 2) = 3.
+        runtime = ScenarioResult(
+            "rt", 0.0, [InvocationRecord(3.0, 0.0, 1.0)], 0
+        )
+        dynamic = ScenarioResult(
+            "dyn", 6.0, [InvocationRecord(0.0, 1.0, 1.0)], 0
+        )
+        assert breakeven_runtime_vs_dynamic(runtime, dynamic) == 3
+
+    def test_static_vs_dynamic_never(self):
+        static = ScenarioResult(
+            "st", 0.0, [InvocationRecord(0.0, 0.1, 1.0)], 0
+        )
+        dynamic = ScenarioResult(
+            "dyn", 1.0, [InvocationRecord(0.0, 0.2, 1.0)], 0
+        )
+        assert breakeven_static_vs_dynamic(static, dynamic) is None
+
+
+class TestConditionalReoptimization:
+    def test_reoptimizes_on_drift(self, workload2, series2):
+        scenario = ConditionalReoptimizationScenario(workload2, tolerance=0.1)
+        result = scenario.run_series(series2)
+        # Uniform random selectivities drift constantly: many
+        # re-optimizations, the paper's criticism of this approach.
+        assert result.extra["reoptimizations"] > len(series2) // 2
+
+    def test_tolerant_scenario_reoptimizes_less(self, workload2, series2):
+        eager = ConditionalReoptimizationScenario(workload2, tolerance=0.05)
+        lazy = ConditionalReoptimizationScenario(workload2, tolerance=0.9)
+        eager_result = eager.run_series(series2)
+        lazy_result = lazy.run_series(series2)
+        assert (
+            lazy_result.extra["reoptimizations"]
+            <= eager_result.extra["reoptimizations"]
+        )
+
+    def test_execution_quality_between_static_and_runtime(
+        self, workload2, series2, static2, runtime2
+    ):
+        scenario = ConditionalReoptimizationScenario(workload2, tolerance=0.2)
+        result = scenario.run_series(series2)
+        assert (
+            runtime2.average_execution_seconds - 1e-9
+            <= result.average_execution_seconds
+            <= static2.average_execution_seconds + 1e-9
+        )

@@ -1,0 +1,129 @@
+"""Plan shrinking: the self-replacing access module of Section 4."""
+
+import pytest
+
+from repro.executor import ShrinkingAccessModule, resolve_dynamic_plan
+from repro.optimizer import optimize_dynamic
+from repro.scenarios import predicted_execution_seconds
+from repro.workloads import binding_series, random_bindings
+
+
+@pytest.fixture()
+def shrinking_module(workload2):
+    dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+    return ShrinkingAccessModule(
+        dynamic.plan,
+        workload2.catalog,
+        workload2.query.parameter_space,
+        query_name="q2",
+        shrink_after=5,
+    )
+
+
+class TestUsageTracking:
+    def test_activation_returns_resolved_plan(self, shrinking_module,
+                                              workload2):
+        bindings = random_bindings(workload2, seed=0)
+        chosen, report = shrinking_module.activate(bindings)
+        assert chosen.choose_plan_count() == 0
+        assert report.decisions > 0
+        assert shrinking_module.total_invocations == 1
+
+    def test_shrink_triggered_after_threshold(self, shrinking_module,
+                                              workload2):
+        for bindings in binding_series(workload2, count=5, seed=1):
+            shrinking_module.activate(bindings)
+        assert shrinking_module.shrink_count == 1
+        assert shrinking_module.invocations_since_shrink == 0
+
+    def test_shrinking_reduces_or_preserves_size(self, shrinking_module,
+                                                 workload2):
+        before = shrinking_module.node_count
+        for bindings in binding_series(workload2, count=5, seed=1):
+            shrinking_module.activate(bindings)
+        assert shrinking_module.node_count <= before
+
+    def test_identical_bindings_shrink_to_near_static(self, workload2):
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        module = ShrinkingAccessModule(
+            dynamic.plan, workload2.catalog,
+            workload2.query.parameter_space, shrink_after=3,
+        )
+        bindings = random_bindings(workload2, seed=7)
+        for _ in range(3):
+            module.activate(bindings)
+        # Only one alternative ever used per choose-plan: all
+        # choose-plan operators collapse.
+        assert module.module.materialize().choose_plan_count() == 0
+
+
+class TestShrunkPlanQuality:
+    def test_shrunk_plan_still_optimal_for_seen_bindings(self, workload2):
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        module = ShrinkingAccessModule(
+            dynamic.plan, workload2.catalog,
+            workload2.query.parameter_space, shrink_after=6,
+        )
+        series = binding_series(workload2, count=6, seed=2)
+        for bindings in series:
+            module.activate(bindings)
+        # After shrinking, re-running the same bindings must reach the
+        # same execution costs as the full dynamic plan.
+        for bindings in series:
+            chosen, _ = module.activate(bindings)
+            full_chosen, _ = resolve_dynamic_plan(
+                dynamic.plan, workload2.catalog,
+                workload2.query.parameter_space, bindings,
+            )
+            assert predicted_execution_seconds(
+                chosen, workload2.catalog,
+                workload2.query.parameter_space, bindings,
+            ) == pytest.approx(
+                predicted_execution_seconds(
+                    full_chosen, workload2.catalog,
+                    workload2.query.parameter_space, bindings,
+                ),
+                rel=1e-9,
+            )
+
+    def test_shrunk_plan_may_be_suboptimal_for_unseen_bindings(self, workload1):
+        # The paper flags this as the heuristic's inherent risk: a
+        # removed alternative may have been optimal for future runs.
+        dynamic = optimize_dynamic(workload1.catalog, workload1.query)
+        module = ShrinkingAccessModule(
+            dynamic.plan, workload1.catalog,
+            workload1.query.parameter_space, shrink_after=2,
+        )
+        domain = workload1.catalog.domain_size("R1", "a")
+        low = random_bindings(workload1, seed=0)
+        low.bind("sel_R1", 0.01).bind_variable("v_R1", 0.01 * domain)
+        module.activate(low)
+        module.activate(low)  # triggers shrink: only index scan kept
+        high = random_bindings(workload1, seed=0)
+        high.bind("sel_R1", 0.95).bind_variable("v_R1", 0.95 * domain)
+        chosen, _ = module.activate(high)
+        shrunk_cost = predicted_execution_seconds(
+            chosen, workload1.catalog,
+            workload1.query.parameter_space, high,
+        )
+        optimal_chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, workload1.catalog,
+            workload1.query.parameter_space, high,
+        )
+        optimal_cost = predicted_execution_seconds(
+            optimal_chosen, workload1.catalog,
+            workload1.query.parameter_space, high,
+        )
+        assert shrunk_cost > optimal_cost
+
+    def test_shrunk_module_smaller_activation_io(self, workload2):
+        dynamic = optimize_dynamic(workload2.catalog, workload2.query)
+        module = ShrinkingAccessModule(
+            dynamic.plan, workload2.catalog,
+            workload2.query.parameter_space, shrink_after=4,
+        )
+        io_before = module.module.read_seconds()
+        bindings = random_bindings(workload2, seed=3)
+        for _ in range(4):
+            module.activate(bindings)
+        assert module.module.read_seconds() < io_before

@@ -1,0 +1,92 @@
+"""Hash-join and sort spill accounting: executor vs cost model.
+
+Both the simulator and the cost model must agree on *when* memory
+pressure causes spills, and both must charge more as memory shrinks —
+the agreement that makes memory a meaningful run-time parameter.
+"""
+
+import pytest
+
+from repro.algebra.physical import FileScan, HashJoin, Sort
+from repro.cost.formulas import CostModel
+from repro.cost.parameters import Bindings, Valuation
+from repro.executor import execute_plan
+
+
+@pytest.fixture(scope="module")
+def join_plan(workload2):
+    return HashJoin(
+        FileScan("R2"), FileScan("R1"), workload2.query.join_predicates[0]
+    )
+
+
+def run_with_memory(plan, database, space, memory_pages):
+    bindings = Bindings().bind("memory_pages", memory_pages)
+    return execute_plan(plan, database, bindings, space)
+
+
+class TestHashJoinSpills:
+    def test_no_spill_with_ample_memory(self, workload2, database2,
+                                        join_plan):
+        result = run_with_memory(
+            join_plan, database2, workload2.query.parameter_space, 1000
+        )
+        assert result.io_snapshot["pages_written"] == 0
+
+    def test_spill_with_tight_memory(self, workload2, database2, join_plan):
+        result = run_with_memory(
+            join_plan, database2, workload2.query.parameter_space, 4
+        )
+        assert result.io_snapshot["pages_written"] > 0
+        assert result.io_snapshot["pages_read"] > 0
+
+    def test_model_agrees_on_spill_threshold(self, workload2, join_plan):
+        space = workload2.query.parameter_space
+        build_pages = workload2.catalog.statistics("R2").pages
+
+        def model_cost(memory_pages):
+            bindings = Bindings().bind("memory_pages", memory_pages)
+            return CostModel(
+                workload2.catalog, Valuation.runtime(space, bindings)
+            ).evaluate(join_plan).cost.lower
+
+        fits = model_cost(build_pages + 10)
+        spills = model_cost(max(build_pages // 4, 2))
+        assert spills > fits
+
+    def test_model_cost_decreases_with_memory(self, workload2, join_plan):
+        space = workload2.query.parameter_space
+        costs = []
+        for memory_pages in (4, 16, 64, 256, 1024):
+            bindings = Bindings().bind("memory_pages", memory_pages)
+            costs.append(
+                CostModel(
+                    workload2.catalog, Valuation.runtime(space, bindings)
+                ).evaluate(join_plan).cost.lower
+            )
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestSortSpills:
+    def test_sort_spill_threshold(self, workload2, database2):
+        plan = Sort(FileScan("R2"), "R2.b")
+        space = workload2.query.parameter_space
+        roomy = run_with_memory(plan, database2, space, 1000)
+        tight = run_with_memory(plan, database2, space, 4)
+        assert roomy.io_snapshot["pages_written"] == 0
+        assert tight.io_snapshot["pages_written"] > 0
+        # Same rows either way.
+        assert roomy.row_count == tight.row_count
+
+    def test_sort_model_memory_monotone(self, workload2):
+        plan = Sort(FileScan("R2"), "R2.b")
+        space = workload2.query.parameter_space
+        costs = []
+        for memory_pages in (4, 32, 300):
+            bindings = Bindings().bind("memory_pages", memory_pages)
+            costs.append(
+                CostModel(
+                    workload2.catalog, Valuation.runtime(space, bindings)
+                ).evaluate(plan).cost.lower
+            )
+        assert costs[0] > costs[-1]

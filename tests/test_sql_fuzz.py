@@ -1,0 +1,127 @@
+"""Property-based fuzzing of the SQL front end.
+
+Hypothesis generates random well-formed queries over the demo catalog;
+parsing must succeed, the resulting spec must validate, and for
+multi-relation queries the optimality guarantee must hold end to end.
+Random *ill-formed* byte soup must raise ``SqlSyntaxError`` (or parse,
+for the rare accidentally valid string) — never crash another way.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import OptimizationError
+from repro.frontend import parse_query
+from repro.frontend.sql import SqlSyntaxError
+from repro.workloads import paper_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return paper_workload(3, seed=0).catalog  # R1..R4, attrs a/b/c
+
+
+RELATIONS = ("R1", "R2", "R3", "R4")
+CHAIN_JOINS = {
+    ("R1", "R2"): "R1.b = R2.c",
+    ("R2", "R3"): "R2.b = R3.c",
+    ("R3", "R4"): "R3.b = R4.c",
+}
+
+
+@st.composite
+def well_formed_queries(draw):
+    count = draw(st.integers(1, 4))
+    relations = list(RELATIONS[:count])
+    predicates = [
+        CHAIN_JOINS[(relations[i], relations[i + 1])]
+        for i in range(count - 1)
+    ]
+    selected = draw(
+        st.lists(st.sampled_from(relations), unique=True, max_size=count)
+    )
+    for index, relation in enumerate(selected):
+        kind = draw(st.sampled_from(["param", "literal"]))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "="]))
+        if kind == "param":
+            predicates.append("%s.a %s :v_%s" % (relation, op, relation))
+        else:
+            value = draw(st.integers(0, 1000))
+            predicates.append("%s.a %s %d" % (relation, op, value))
+    sql = "SELECT * FROM " + ", ".join(relations)
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    return sql, count, len(selected)
+
+
+class TestWellFormedQueries:
+    @settings(max_examples=40, deadline=None)
+    @given(query=well_formed_queries())
+    def test_parse_and_optimize(self, catalog, query):
+        sql, relation_count, _selected = query
+        spec = parse_query(sql, catalog)
+        assert len(spec.relations) == relation_count
+        from repro.optimizer import optimize_dynamic, optimize_static
+
+        static = optimize_static(catalog, spec)
+        dynamic = optimize_dynamic(catalog, spec)
+        assert static.cost.is_point
+        assert dynamic.node_count() >= static.node_count()
+
+    @settings(max_examples=15, deadline=None)
+    @given(query=well_formed_queries(), binding_seed=st.integers(0, 100))
+    def test_guarantee_holds_for_fuzzed_queries(self, catalog, query,
+                                                binding_seed):
+        from repro.common.rng import make_rng
+        from repro.cost.parameters import Bindings
+        from repro.executor import resolve_dynamic_plan
+        from repro.optimizer import optimize_dynamic, optimize_runtime
+        from repro.scenarios import predicted_execution_seconds
+
+        sql, _count, _selected = query
+        spec = parse_query(sql, catalog)
+        rng = make_rng(binding_seed, "sql-fuzz")
+        bindings = Bindings()
+        for name in spec.parameter_space.uncertain_names():
+            bounds = spec.parameter_space.get(name).bounds
+            bindings.bind(name, rng.uniform(bounds.lower, bounds.upper))
+        dynamic = optimize_dynamic(catalog, spec)
+        chosen, _ = resolve_dynamic_plan(
+            dynamic.plan, catalog, spec.parameter_space, bindings
+        )
+        optimum = optimize_runtime(catalog, spec, bindings)
+        assert predicted_execution_seconds(
+            chosen, catalog, spec.parameter_space, bindings
+        ) == pytest.approx(
+            predicted_execution_seconds(
+                optimum.plan, catalog, spec.parameter_space, bindings
+            ),
+            rel=1e-9,
+        )
+
+
+class TestIllFormedQueries:
+    @settings(max_examples=80, deadline=None)
+    @given(garbage=st.text(max_size=60))
+    def test_garbage_never_crashes_unexpectedly(self, catalog, garbage):
+        try:
+            parse_query(garbage, catalog)
+        except OptimizationError:
+            pass  # SqlSyntaxError or a validation error: expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM R1 WHERE",
+            "SELECT * FROM R1 WHERE R1.a",
+            "SELECT * FROM R1 WHERE R1.a < ",
+            "SELECT * FROM R1 GROUP BY R1.a",
+            "INSERT INTO R1 VALUES (1)",
+        ],
+    )
+    def test_specific_malformed_queries(self, catalog, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_query(bad, catalog)

@@ -1,0 +1,191 @@
+"""Heap files, records, I/O accounting, and the Database container."""
+
+import pytest
+
+from repro.catalog import Attribute, Schema
+from repro.catalog import (
+    AttributeStatistics,
+    Catalog,
+    IndexInfo,
+    RelationStatistics,
+)
+from repro.common.errors import CatalogError, ExecutionError
+from repro.storage import Database, HeapFile, IOStatistics, Record
+
+
+def make_heap(records_per_page=4):
+    schema = Schema("R", [Attribute("a"), Attribute("b")])
+    stats = IOStatistics()
+    return HeapFile(schema, stats, records_per_page), stats
+
+
+class TestRecord:
+    def test_qualified_and_unqualified_access(self):
+        record = Record({"R.a": 1, "R.b": 2})
+        assert record["R.a"] == 1
+        assert record["a"] == 1
+        assert record.get("zzz") is None
+
+    def test_ambiguous_reference_raises(self):
+        record = Record({"R.a": 1, "S.a": 2})
+        with pytest.raises(ExecutionError):
+            record["a"]
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ExecutionError):
+            Record({"R.a": 1})["b"]
+
+    def test_contains(self):
+        record = Record({"R.a": 1})
+        assert "a" in record
+        assert "R.a" in record
+        assert "b" not in record
+
+    def test_merged_with(self):
+        left = Record({"R.a": 1})
+        right = Record({"S.b": 2})
+        merged = left.merged_with(right)
+        assert merged["R.a"] == 1 and merged["S.b"] == 2
+
+    def test_project(self):
+        record = Record({"R.a": 1, "R.b": 2})
+        assert record.project(["R.a"]).as_dict() == {"R.a": 1}
+
+    def test_equality_and_hash(self):
+        assert Record({"R.a": 1}) == Record({"R.a": 1})
+        assert len({Record({"R.a": 1}), Record({"R.a": 1})}) == 1
+
+
+class TestHeapFile:
+    def test_insert_qualifies_fields(self):
+        heap, _ = make_heap()
+        rid = heap.insert({"a": 1, "b": 2})
+        record = heap.fetch(rid)
+        assert record["R.a"] == 1
+
+    def test_insert_accepts_qualified_fields(self):
+        heap, _ = make_heap()
+        rid = heap.insert({"R.a": 1, "R.b": 2})
+        assert heap.fetch(rid)["b"] == 2
+
+    def test_missing_field_rejected(self):
+        heap, _ = make_heap()
+        with pytest.raises(ExecutionError):
+            heap.insert({"a": 1})
+
+    def test_page_packing(self):
+        heap, _ = make_heap(records_per_page=4)
+        heap.bulk_load({"a": i, "b": i} for i in range(9))
+        assert heap.page_count == 3
+        assert heap.record_count == 9
+        assert len(heap) == 9
+
+    def test_scan_charges_one_read_per_page(self):
+        heap, stats = make_heap(records_per_page=4)
+        heap.bulk_load({"a": i, "b": i} for i in range(8))
+        stats.reset()
+        records = list(heap.scan())
+        assert len(records) == 8
+        assert stats.pages_read == 2
+        assert stats.records_processed == 8
+
+    def test_fetch_charges_one_read_per_record(self):
+        heap, stats = make_heap()
+        rids = heap.bulk_load({"a": i, "b": i} for i in range(8))
+        stats.reset()
+        for rid in rids:
+            heap.fetch(rid)
+        assert stats.pages_read == 8  # unclustered-fetch behaviour
+
+    def test_fetch_invalid_rid(self):
+        heap, _ = make_heap()
+        with pytest.raises(ExecutionError):
+            heap.fetch((99, 0))
+
+    def test_scan_preserves_insertion_order(self):
+        heap, _ = make_heap()
+        heap.bulk_load({"a": i, "b": 0} for i in range(10))
+        assert [r["a"] for r in heap.scan()] == list(range(10))
+
+    def test_zero_records_per_page_rejected(self):
+        schema = Schema("R", [Attribute("a")])
+        with pytest.raises(ExecutionError):
+            HeapFile(schema, IOStatistics(), records_per_page=0)
+
+
+class TestIOStatistics:
+    def test_counters_accumulate(self):
+        stats = IOStatistics()
+        stats.charge_page_reads(2)
+        stats.charge_page_writes(1)
+        stats.charge_records(5)
+        stats.charge_index_probe()
+        assert stats.total_pages == 3
+        assert stats.snapshot() == {
+            "pages_read": 2,
+            "pages_written": 1,
+            "records_processed": 5,
+            "index_probes": 1,
+        }
+
+    def test_reset(self):
+        stats = IOStatistics()
+        stats.charge_page_reads(3)
+        stats.reset()
+        assert stats.pages_read == 0
+
+    def test_estimated_seconds_positive(self):
+        stats = IOStatistics()
+        stats.charge_page_reads(100)
+        assert stats.estimated_seconds() == pytest.approx(1.0)
+
+
+class TestDatabase:
+    def _catalog(self):
+        catalog = Catalog()
+        schema = Schema("R", [Attribute("a"), Attribute("b")])
+        stats = RelationStatistics(
+            "R", 8, [AttributeStatistics("a", 8), AttributeStatistics("b", 4)]
+        )
+        catalog.add_relation(schema, stats)
+        catalog.add_index(IndexInfo("R", "a"))
+        return catalog
+
+    def test_load_maintains_indexes(self):
+        database = Database(self._catalog())
+        database.load("R", [{"a": i, "b": i % 4} for i in range(8)])
+        btree = database.btree("R", "a")
+        assert btree.entry_count == 8
+        assert database.has_btree("R", "a")
+        assert not database.has_btree("R", "b")
+
+    def test_btree_lookup_accepts_qualified_name(self):
+        database = Database(self._catalog())
+        database.load("R", [{"a": 1, "b": 1}])
+        assert database.btree("R", "R.a") is database.btree("R", "a")
+
+    def test_missing_relation_raises(self):
+        database = Database(self._catalog())
+        with pytest.raises(ExecutionError):
+            database.heap("R")  # no data loaded yet
+
+    def test_double_create_rejected(self):
+        database = Database(self._catalog())
+        database.create_relation("R")
+        with pytest.raises(CatalogError):
+            database.create_relation("R")
+
+    def test_index_search_finds_inserted_rids(self):
+        database = Database(self._catalog())
+        database.load("R", [{"a": i % 4, "b": 0} for i in range(8)])
+        btree = database.btree("R", "a")
+        rids = btree.search(2)
+        heap = database.heap("R")
+        for rid in rids:
+            assert heap.fetch(rid)["a"] == 2
+        assert len(rids) == 2
+
+    def test_relation_names(self):
+        database = Database(self._catalog())
+        database.load("R", [{"a": 0, "b": 0}])
+        assert database.relation_names() == ["R"]

@@ -1,0 +1,187 @@
+"""Catalog validation and drift: dropped indexes, changed statistics.
+
+The paper's Section 1 motivates uncertainty with "indexes are created
+and destroyed" and changing database contents; Section 2 recalls
+System R's handling of infeasible plans ([CAK81]).  Static plans break
+when their structures vanish; dynamic plans degrade gracefully.
+"""
+
+
+import pytest
+
+from repro.algebra.physical import ChoosePlan, FilterBTreeScan
+from repro.catalog import (
+    AttributeStatistics,
+    RelationStatistics,
+    build_synthetic_catalog,
+    default_relation_specs,
+)
+from repro.common.errors import CatalogError, InfeasiblePlanError
+from repro.executor import (
+    activate_plan,
+    node_is_feasible,
+    resolve_dynamic_plan,
+    validate_plan,
+)
+from repro.optimizer import optimize_dynamic, optimize_static
+from repro.workloads import paper_workload, random_bindings
+
+
+def fresh_workload(number=1):
+    """A workload with a private catalog we may mutate."""
+    return paper_workload(number, seed=0)
+
+
+class TestNodeFeasibility:
+    def test_index_nodes_require_their_index(self, workload1):
+        plan = FilterBTreeScan(
+            "R1", "a", workload1.query.selection_for("R1")
+        )
+        assert node_is_feasible(plan, workload1.catalog)
+        catalog = build_synthetic_catalog(
+            default_relation_specs(1, seed=0), seed=0
+        )
+        catalog.drop_index("R1", "a")
+        assert not node_is_feasible(plan, catalog)
+
+    def test_unknown_relation_infeasible(self, workload1):
+        from repro.algebra.physical import FileScan
+
+        catalog = build_synthetic_catalog(
+            default_relation_specs(1, seed=0), seed=0
+        )
+        assert not node_is_feasible(FileScan("ZZZ"), catalog)
+
+
+class TestStaticPlanInfeasibility:
+    def test_static_plan_breaks_when_index_dropped(self):
+        workload = fresh_workload(1)
+        static = optimize_static(workload.catalog, workload.query)
+        # The motivating example's static plan bets on the index scan.
+        assert any(
+            isinstance(node, FilterBTreeScan)
+            for node in static.plan.walk_unique()
+        )
+        workload.catalog.drop_index("R1", "a")
+        with pytest.raises(InfeasiblePlanError):
+            validate_plan(static.plan, workload.catalog)
+
+    def test_activation_validates(self):
+        workload = fresh_workload(1)
+        static = optimize_static(workload.catalog, workload.query)
+        workload.catalog.drop_index("R1", "a")
+        bindings = random_bindings(workload, seed=1)
+        with pytest.raises(InfeasiblePlanError):
+            activate_plan(
+                static.plan,
+                workload.catalog,
+                workload.query.parameter_space,
+                bindings,
+            )
+
+    def test_validation_can_be_skipped(self):
+        workload = fresh_workload(1)
+        static = optimize_static(workload.catalog, workload.query)
+        bindings = random_bindings(workload, seed=1)
+        plan, _ = activate_plan(
+            static.plan,
+            workload.catalog,
+            workload.query.parameter_space,
+            bindings,
+            validate=False,
+        )
+        assert plan is static.plan
+
+
+class TestDynamicPlanDegradation:
+    def test_dynamic_plan_survives_dropped_index(self):
+        workload = fresh_workload(1)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        workload.catalog.drop_index("R1", "a")
+        validated = validate_plan(dynamic.plan, workload.catalog)
+        # The index-scan alternative is gone; the file-scan one stays.
+        operators = [n.operator_name() for n in validated.walk_unique()]
+        assert "Filter-B-tree-Scan" not in operators
+        assert "File-Scan" in operators
+
+    def test_choose_plan_collapses_to_single_alternative(self):
+        workload = fresh_workload(1)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        assert isinstance(dynamic.plan, ChoosePlan)
+        workload.catalog.drop_index("R1", "a")
+        validated = validate_plan(dynamic.plan, workload.catalog)
+        assert validated.choose_plan_count() == 0
+
+    def test_unchanged_catalog_returns_same_plan_object(self):
+        workload = fresh_workload(2)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        assert validate_plan(dynamic.plan, workload.catalog) is dynamic.plan
+
+    def test_two_way_join_loses_index_joins_only(self):
+        workload = fresh_workload(2)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        # Drop the join-attribute index of R2: Index-Joins into R2 and
+        # B-tree scans on R2.c become infeasible; everything else stays.
+        workload.catalog.drop_index("R2", "c")
+        validated = validate_plan(dynamic.plan, workload.catalog)
+        for node in validated.walk_unique():
+            assert node_is_feasible(node, workload.catalog)
+        operators = [n.operator_name() for n in validated.walk_unique()]
+        assert "Hash-Join" in operators
+
+    def test_validated_plan_still_resolves_and_matches_reoptimization(self):
+        workload = fresh_workload(2)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        workload.catalog.drop_index("R2", "c")
+        validated = validate_plan(dynamic.plan, workload.catalog)
+        bindings = random_bindings(workload, seed=5)
+        chosen, _ = resolve_dynamic_plan(
+            validated,
+            workload.catalog,
+            workload.query.parameter_space,
+            bindings,
+        )
+        assert chosen.choose_plan_count() == 0
+        for node in chosen.walk_unique():
+            assert node_is_feasible(node, workload.catalog)
+
+
+class TestStatisticsDrift:
+    def test_decisions_follow_updated_cardinality(self):
+        # Query 2's build-side decision depends on the relative sizes
+        # of R1 and R2; shrink R2 drastically and the choose-plan
+        # decisions must adapt without re-optimization.
+        workload = fresh_workload(2)
+        dynamic = optimize_dynamic(workload.catalog, workload.query)
+        bindings = random_bindings(workload, seed=2)
+        bindings.bind("sel_R1", 0.5).bind("sel_R2", 0.5)
+        before, _ = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        old_stats = workload.catalog.statistics("R2")
+        new_stats = RelationStatistics(
+            "R2",
+            5,  # shrunk from 1000 records to 5
+            [
+                AttributeStatistics(stats.attribute_name, stats.domain_size)
+                for stats in (
+                    old_stats.attribute("a"),
+                    old_stats.attribute("b"),
+                    old_stats.attribute("c"),
+                )
+            ],
+        )
+        workload.catalog.update_statistics(new_stats)
+        after, _ = resolve_dynamic_plan(
+            dynamic.plan, workload.catalog,
+            workload.query.parameter_space, bindings,
+        )
+        assert before.signature() != after.signature()
+
+    def test_update_statistics_unknown_relation_rejected(self):
+        workload = fresh_workload(1)
+        with pytest.raises(CatalogError):
+            workload.catalog.update_statistics(
+                RelationStatistics("ZZZ", 10)
+            )

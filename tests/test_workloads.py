@@ -1,0 +1,140 @@
+"""Workload definitions and run-time binding generation."""
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.cost.parameters import MEMORY_PARAMETER
+from repro.workloads import (
+    PAPER_QUERY_SIZES,
+    binding_series,
+    make_join_workload,
+    paper_workload,
+    random_bindings,
+)
+from repro.workloads.queries import (
+    make_join_predicates,
+    selection_parameter_name,
+    selection_variable_name,
+)
+
+
+class TestPaperQueries:
+    def test_sizes_match_paper(self):
+        assert PAPER_QUERY_SIZES == {1: 1, 2: 2, 3: 4, 4: 6, 5: 10}
+
+    @pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+    def test_every_relation_has_uncertain_selection(self, number):
+        workload = paper_workload(number)
+        query = workload.query
+        assert len(query.relations) == PAPER_QUERY_SIZES[number]
+        for relation in query.relations:
+            predicate = query.selection_for(relation)
+            assert predicate is not None and predicate.is_uncertain
+        assert query.uncertain_variable_count() == PAPER_QUERY_SIZES[number]
+
+    def test_invalid_query_number(self):
+        with pytest.raises(OptimizationError):
+            paper_workload(6)
+
+    def test_memory_uncertain_adds_variable(self):
+        plain = paper_workload(2)
+        with_memory = paper_workload(2, memory_uncertain=True)
+        assert (
+            with_memory.query.uncertain_variable_count()
+            == plain.query.uncertain_variable_count() + 1
+        )
+        assert with_memory.name.endswith("+mem")
+
+    def test_chain_join_structure(self):
+        workload = paper_workload(3)
+        predicates = workload.query.join_predicates
+        assert len(predicates) == 3  # 4 relations, chain
+        assert predicates[0].left_attribute == "R1.b"
+        assert predicates[0].right_attribute == "R2.c"
+
+    def test_indexes_on_selection_and_join_attributes(self):
+        workload = paper_workload(2)
+        for relation in workload.query.relations:
+            for attribute in ("a", "b", "c"):
+                assert workload.catalog.index_on(relation, attribute)
+
+
+class TestTopologies:
+    def test_star_predicates(self):
+        predicates = make_join_predicates(["R1", "R2", "R3"], "star")
+        assert all(p.left_attribute.startswith("R1.") for p in predicates)
+        assert len(predicates) == 2
+
+    def test_cycle_predicates(self):
+        predicates = make_join_predicates(["R1", "R2", "R3"], "cycle")
+        assert len(predicates) == 3
+
+    def test_unknown_topology(self):
+        with pytest.raises(OptimizationError):
+            make_join_predicates(["R1", "R2"], "hypercube")
+
+    def test_single_relation_no_predicates(self):
+        assert make_join_predicates(["R1"], "chain") == []
+
+    def test_make_join_workload_names(self):
+        assert make_join_workload(3, topology="star").name == "3-way-star"
+
+
+class TestNaming:
+    def test_parameter_and_variable_conventions(self):
+        assert selection_parameter_name("R1") == "sel_R1"
+        assert selection_variable_name("R1") == "v_R1"
+
+
+class TestRandomBindings:
+    def test_all_uncertain_parameters_bound(self, workload2):
+        bindings = random_bindings(workload2, seed=0)
+        for name in workload2.query.parameter_space.uncertain_names():
+            assert bindings.has_parameter(name)
+            assert 0.0 <= bindings.parameter(name) <= 1.0
+
+    def test_user_variables_track_selectivity(self, workload2):
+        bindings = random_bindings(workload2, seed=0)
+        for relation in workload2.query.relations:
+            selectivity = bindings.parameter(
+                selection_parameter_name(relation)
+            )
+            variable = bindings.variable(selection_variable_name(relation))
+            domain = workload2.catalog.domain_size(relation, "a")
+            assert variable == pytest.approx(selectivity * domain)
+
+    def test_memory_bound_only_when_uncertain(self, workload2, workload2_mem):
+        plain = random_bindings(workload2, seed=0)
+        with_memory = random_bindings(workload2_mem, seed=0)
+        assert not plain.has_parameter(MEMORY_PARAMETER)
+        assert with_memory.has_parameter(MEMORY_PARAMETER)
+        assert 16 <= with_memory.parameter(MEMORY_PARAMETER) <= 112
+
+    def test_deterministic_per_seed_and_index(self, workload2):
+        a = random_bindings(workload2, seed=5, run_index=3)
+        b = random_bindings(workload2, seed=5, run_index=3)
+        c = random_bindings(workload2, seed=5, run_index=4)
+        assert a.parameter("sel_R1") == b.parameter("sel_R1")
+        assert a.parameter("sel_R1") != c.parameter("sel_R1")
+
+    def test_binding_series_length_and_variety(self, workload2):
+        series = binding_series(workload2, count=20, seed=0)
+        assert len(series) == 20
+        values = {bindings.parameter("sel_R1") for bindings in series}
+        assert len(values) == 20
+
+    def test_user_variable_selectivity_approximates_actual(self, workload2,
+                                                           database2):
+        # The selection attribute is uniform on [0, domain): the
+        # fraction of records with a < s*domain should be close to s.
+        bindings = random_bindings(workload2, seed=1)
+        bindings.bind("sel_R1", 0.5).bind_variable(
+            "v_R1", 0.5 * workload2.catalog.domain_size("R1", "a")
+        )
+        predicate = workload2.query.selection_for("R1")
+        records = database2.heap("R1").all_records()
+        matching = sum(
+            1 for record in records if predicate.evaluate(record, bindings)
+        )
+        actual = matching / len(records)
+        assert abs(actual - 0.5) < 0.15
