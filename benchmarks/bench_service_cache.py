@@ -1,0 +1,99 @@
+"""Plan-cache amortization: cached start-up vs optimize-per-query.
+
+The service's reason to exist is the paper's embedded-SQL argument:
+optimization cost is paid once per query shape, and every further
+invocation pays only the choose-plan start-up decision.  This bench
+replays a >=100-invocation mixed workload through the query service
+and asserts the acceptance bar: a cache-hit invocation is at least 5x
+cheaper in wall-clock time than optimizing the query from scratch.
+
+``REPRO_BENCH_N`` scales the invocation count (floor 100 here — below
+that the hit-rate and percentile numbers are too noisy to gate on).
+"""
+
+from conftest import bench_invocations, write_and_print
+
+from repro.service import render_report, replay_spec
+from repro.workloads.service import ServiceQuerySpec, ServiceWorkloadSpec
+
+#: Minimum invocations for a meaningful hit-rate measurement.
+FLOOR_INVOCATIONS = 100
+
+#: The acceptance bar: cached invocations this many times cheaper.
+MIN_SPEEDUP = 5.0
+
+
+def service_spec():
+    """The benchmark mix: three shapes, skewed toward the cheap one."""
+    return ServiceWorkloadSpec(
+        [
+            ServiceQuerySpec(1, weight=3),
+            ServiceQuerySpec(2, weight=2),
+            ServiceQuerySpec(4, topology="chain", weight=1),
+        ],
+        invocations=max(FLOOR_INVOCATIONS, bench_invocations()),
+        threads=8,
+        capacity=64,
+        seed=0,
+        execute=False,
+    )
+
+
+def test_service_cache_amortization(benchmark, results_dir):
+    spec = service_spec()
+    report = replay_spec(spec, baseline_samples=3)
+
+    # Benchmark the unit the service amortizes down to: one complete
+    # cached invocation (lookup + start-up decision), measured through
+    # the public entry point against a warm cache.
+    from repro.service import QueryService, ServiceRequest
+    from repro.storage import Database
+    from repro.workloads.service import (
+        generate_service_requests,
+    )
+
+    workloads, requests = generate_service_requests(spec)
+    service = QueryService(
+        Database(workloads[0].catalog),
+        capacity=spec.capacity,
+        max_workers=1,
+        execute=False,
+    )
+    with service:
+        warm = [
+            ServiceRequest(workload.query, bindings)
+            for workload, bindings in requests[:16]
+        ]
+        service.run_batch(warm)  # every shape compiled and cached
+        workload, bindings = requests[0]
+        benchmark(lambda: service.run(workload.query, bindings))
+
+    write_and_print(results_dir, "service_cache", render_report(report))
+
+    assert len(report.results) >= FLOOR_INVOCATIONS
+    assert report.hit_rate > 0.9
+
+    # The acceptance bar, measured two independent ways.
+    #
+    # Per-invocation: mean cache-hit cost (optimize + start-up of hits
+    # only) vs the measured mean cost of one from-scratch optimization
+    # of the same mix.
+    hits = [result for result in report.results if result.cache_hit]
+    assert hits, "no cache hits in a %d-invocation replay" % len(report.results)
+    hit_mean = sum(
+        result.optimize_seconds + result.startup_seconds for result in hits
+    ) / len(hits)
+    baseline_mean = sum(
+        report.baseline_means[result.tag] for result in hits
+    ) / len(hits)
+    assert baseline_mean > MIN_SPEEDUP * hit_mean, (
+        "cache-hit invocations only %.1fx cheaper than optimize-per-query"
+        % (baseline_mean / hit_mean)
+    )
+
+    # Whole-workload: total service cost (including the compile misses)
+    # vs optimizing every single invocation.
+    assert report.speedup > MIN_SPEEDUP, (
+        "end-to-end replay speedup %.1fx below the %.0fx bar"
+        % (report.speedup, MIN_SPEEDUP)
+    )

@@ -63,10 +63,18 @@ from repro.optimizer import (
     OptimizerMode,
     QuerySpec,
     SearchEngine,
+    canonical_signature,
     optimize_dynamic,
     optimize_exhaustive,
     optimize_runtime,
     optimize_static,
+    signature_digest,
+)
+from repro.service import (
+    PlanCache,
+    QueryService,
+    ServiceRequest,
+    replay_spec,
 )
 from repro.scenarios import (
     DynamicPlanScenario,
@@ -106,11 +114,14 @@ __all__ = [
     "OptimizerMode",
     "ParameterSpace",
     "PartialOrder",
+    "PlanCache",
+    "QueryService",
     "QuerySpec",
     "RunTimeOptimizationScenario",
     "SearchEngine",
     "Select",
     "SelectionPredicate",
+    "ServiceRequest",
     "ShrinkingAccessModule",
     "StaticPlanScenario",
     "UserVariable",
@@ -118,6 +129,7 @@ __all__ = [
     "activate_plan",
     "binding_series",
     "build_synthetic_catalog",
+    "canonical_signature",
     "default_relation_specs",
     "execute_plan",
     "make_join_workload",
@@ -130,5 +142,7 @@ __all__ = [
     "plan_to_text",
     "populate_database",
     "random_bindings",
+    "replay_spec",
     "resolve_dynamic_plan",
+    "signature_digest",
 ]

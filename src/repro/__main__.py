@@ -7,7 +7,11 @@ Commands:
 * ``experiments [N]``      — regenerate the paper's evaluation
   (Table 1 and Figures 3-8) with N invocations per query (default 100);
 * ``sql "<query>"``        — parse an embedded-SQL query against the
-  demo catalog and print its static and dynamic plans.
+  demo catalog and print its static and dynamic plans;
+* ``serve-batch [spec]``   — replay a service workload through the
+  plan-cache query service and report hit rate, start-up latency
+  percentiles, and speedup over optimize-per-query (``--help`` for
+  flags).
 """
 
 import sys
@@ -75,6 +79,75 @@ def _demo():
     return 0
 
 
+def _serve_batch(argv):
+    import argparse
+
+    from repro.common.errors import OptimizationError
+    from repro.service import render_report, replay_spec
+    from repro.workloads.service import ServiceWorkloadSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-batch",
+        description=(
+            "Replay a workload through the plan-cache query service "
+            "and report hit rate, start-up latency, and speedup vs "
+            "optimize-per-query."
+        ),
+    )
+    parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="JSON workload spec (see repro.workloads.service); "
+        "omit for the built-in default mix",
+    )
+    parser.add_argument(
+        "--invocations", type=int, default=None,
+        help="override the spec's invocation count",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None,
+        help="override the spec's service thread-pool width",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="override the spec's plan-cache capacity",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's workload seed",
+    )
+    parser.add_argument(
+        "--no-execute", action="store_true",
+        help="skip data execution; measure optimization and start-up only",
+    )
+    args = parser.parse_args(argv)
+
+    overrides = {
+        "invocations": args.invocations,
+        "threads": args.threads,
+        "capacity": args.capacity,
+        "seed": args.seed,
+    }
+    overrides = {key: value for key, value in overrides.items()
+                 if value is not None}
+    if args.no_execute:
+        overrides["execute"] = False
+    try:
+        if args.spec is None:
+            spec = ServiceWorkloadSpec.default()
+        else:
+            spec = ServiceWorkloadSpec.load(args.spec)
+        if overrides:
+            spec = spec.replace(**overrides)
+    except (OSError, ValueError, OptimizationError) as error:
+        print("serve-batch: invalid workload spec: %s" % error)
+        return 2
+    report = replay_spec(spec)
+    print(render_report(report))
+    return 0
+
+
 def _experiments(argv):
     from repro.experiments.runner import main as run_experiments
 
@@ -107,6 +180,8 @@ def main(argv=None):
         return _experiments(argv[1:])
     if command == "sql":
         return _sql(argv[1:])
+    if command == "serve-batch":
+        return _serve_batch(argv[1:])
     print(__doc__)
     return 2
 

@@ -6,7 +6,6 @@ job of :class:`repro.storage.Database` — so that optimization can run
 against a catalog alone, exactly as a real optimizer does.
 """
 
-from repro.catalog.schema import Schema
 from repro.common.errors import CatalogError
 
 

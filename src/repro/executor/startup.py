@@ -12,6 +12,13 @@ The paper's start-up sequence (Sections 4 and 6) for a dynamic plan:
 :func:`resolve_dynamic_plan` implements step 2 and returns the chosen
 static plan; :func:`activate_plan` wraps steps 1-2 and reports the
 measured CPU time and modelled I/O time, the quantities of Figure 7.
+
+Re-entrancy: resolution never mutates the plan DAG it is given.  All
+working state (the resolved-subplan cache and the cost model's
+memoization table) is local to one :func:`resolve_dynamic_plan` call,
+so any number of threads may resolve the *same* shared dynamic plan
+concurrently with independent bindings — the property the query
+service's plan cache relies on (see :mod:`repro.service`).
 """
 
 import time
@@ -59,6 +66,25 @@ class StartupReport:
     def total_seconds(self):
         """Catalog validation + module I/O + decision CPU (time ``f``)."""
         return CATALOG_VALIDATION_SECONDS + self.io_seconds + self.cpu_seconds
+
+    def choice_signature(self):
+        """Structural fingerprint of the decisions taken.
+
+        Two activations of the same dynamic plan under the same
+        bindings must produce equal choice signatures regardless of
+        which thread — or which decision-procedure implementation —
+        ran them; the invariant the concurrency and compiled-decision
+        equivalence tests assert.  Order-insensitive, because the
+        interpreted and compiled procedures visit choose-plan nodes in
+        different (both deterministic) orders.
+        """
+        return tuple(
+            sorted(
+                repr((node.signature(), chosen.signature()))
+                for node, chosen in self.choices
+                if chosen is not None
+            )
+        )
 
     def __repr__(self):
         return (

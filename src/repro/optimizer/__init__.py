@@ -24,7 +24,7 @@ from repro.optimizer.optimizer import (
     optimize_static,
 )
 from repro.optimizer.properties import PhysicalProperty
-from repro.optimizer.query import QuerySpec
+from repro.optimizer.query import QuerySpec, canonical_signature, signature_digest
 from repro.optimizer.search import SearchEngine, SearchStatistics
 
 __all__ = [
@@ -35,6 +35,8 @@ __all__ = [
     "QuerySpec",
     "SearchEngine",
     "SearchStatistics",
+    "canonical_signature",
+    "signature_digest",
     "optimize_dynamic",
     "optimize_exhaustive",
     "optimize_runtime",

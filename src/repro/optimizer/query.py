@@ -9,6 +9,9 @@ from a logical algebra tree of :class:`~repro.algebra.logical.GetSet`,
 onto their relations, as in all the paper's queries).
 """
 
+import hashlib
+
+from repro.algebra.expressions import Literal, UserVariable
 from repro.algebra.logical import (
     GetSet,
     Join,
@@ -18,6 +21,77 @@ from repro.algebra.logical import (
 )
 from repro.common.errors import OptimizationError
 from repro.cost.parameters import Parameter, ParameterSpace
+
+
+def _operand_signature(operand):
+    """Stable identity of a comparison operand."""
+    if isinstance(operand, UserVariable):
+        return ("var", operand.name)
+    if isinstance(operand, Literal):
+        return ("lit", repr(operand.value))
+    return ("operand", repr(operand))
+
+
+def _selection_signature(relation_name, predicate):
+    """Stable identity of one selection predicate."""
+    comparison = predicate.comparison
+    if predicate.is_uncertain:
+        certainty = (
+            "uncertain",
+            predicate.selectivity_parameter,
+            float(predicate.selectivity_bounds.lower),
+            float(predicate.selectivity_bounds.upper),
+            float(predicate.expected_selectivity),
+        )
+    else:
+        certainty = ("known", float(predicate.known_selectivity))
+    return (
+        relation_name,
+        comparison.attribute,
+        comparison.op.value,
+        _operand_signature(comparison.operand),
+        certainty,
+    )
+
+
+def canonical_signature(query):
+    """Canonical structural identity of a query, for plan caching.
+
+    Two queries share a signature exactly when a dynamic plan compiled
+    for one is usable for the other against the same catalog: same
+    relation set, same selection predicates (attribute, operator,
+    operand, and selectivity description), same join predicates
+    (orientation-normalized — an equi-join is symmetric), same
+    projection, and the same unbound-parameter set.  The query *name*
+    is deliberately excluded: it is presentation, not semantics.
+
+    The signature is a nested tuple of primitives, so it is hashable,
+    comparable, and stable across processes (no ``id()`` anywhere).
+    """
+    query = query if isinstance(query, QuerySpec) else QuerySpec.from_logical(query)
+    selections = tuple(
+        _selection_signature(relation_name, query.selections[relation_name])
+        for relation_name in sorted(query.selections)
+    )
+    joins = tuple(
+        sorted(
+            tuple(sorted((p.left_attribute, p.right_attribute)))
+            for p in query.join_predicates
+        )
+    )
+    return (
+        ("relations", tuple(sorted(query.relations))),
+        ("selections", selections),
+        ("joins", joins),
+        ("projection", query.projection),
+        ("memory_uncertain", query.memory_uncertain),
+        ("unbound", tuple(query.parameter_space.uncertain_names())),
+    )
+
+
+def signature_digest(signature):
+    """Short stable hex digest of a canonical signature."""
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()[:16]
 
 
 class QuerySpec:
@@ -232,6 +306,14 @@ class QuerySpec:
     def selection_for(self, relation_name):
         """The selection predicate on a relation, or ``None``."""
         return self.selections.get(relation_name)
+
+    def canonical_signature(self):
+        """Canonical structural identity (see :func:`canonical_signature`)."""
+        return canonical_signature(self)
+
+    def signature(self):
+        """Hex digest of the canonical signature — the plan-cache key."""
+        return signature_digest(self.canonical_signature())
 
     def uncertain_variable_count(self):
         """Number of uncertain parameters (x-axis of the figures)."""

@@ -1,0 +1,43 @@
+"""Long-lived query service: plan caching and concurrent start-up.
+
+The paper's embedded-SQL scenario optimizes a query **once** and then
+executes it many times with different parameter bindings, paying only
+the cheap choose-plan start-up decision per invocation.  This package
+turns that amortization argument into a running subsystem:
+
+* :mod:`.cache` — an LRU cache of optimized dynamic plans keyed by the
+  canonical query signature, with per-entry hit statistics, observed
+  binding ranges, and staleness-driven re-optimization;
+* :mod:`.service` — :class:`QueryService`, a thread-pooled front end
+  over the optimizer and executor: repeated queries skip optimization
+  entirely and go straight to the start-up decision procedure under
+  fresh bindings;
+* :mod:`.replay` — a workload replayer behind the
+  ``python -m repro serve-batch`` CLI, reporting hit rate, start-up
+  latency percentiles, and speedup versus optimize-per-query.
+"""
+
+from repro.service.cache import CacheStatistics, PlanCache, PlanCacheEntry
+from repro.service.decision import CompiledDecision, DecisionCompilationError
+from repro.service.replay import ReplayReport, render_report, replay_spec
+from repro.service.service import (
+    QueryService,
+    ServiceRequest,
+    ServiceResult,
+    ServiceStatistics,
+)
+
+__all__ = [
+    "CacheStatistics",
+    "CompiledDecision",
+    "DecisionCompilationError",
+    "PlanCache",
+    "PlanCacheEntry",
+    "QueryService",
+    "ReplayReport",
+    "ServiceRequest",
+    "ServiceResult",
+    "ServiceStatistics",
+    "render_report",
+    "replay_spec",
+]

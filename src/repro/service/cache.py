@@ -1,0 +1,291 @@
+"""An LRU cache of optimized dynamic plans, keyed by query signature.
+
+The cache stores one :class:`PlanCacheEntry` per canonical query
+signature (:func:`repro.optimizer.query.canonical_signature`).  An
+entry owns the compiled dynamic plan, the parameter space it was
+optimized for, per-entry usage statistics, and the *covered bounds*:
+the parameter intervals the plan's choose-plan alternatives were
+constructed over.
+
+Staleness (the paper's "plan becomes stale" case): a dynamic plan is
+provably optimal only for bindings inside the compile-time intervals.
+When an invocation's bindings drift outside the covered bounds, the
+entry is re-optimized over bounds widened to include the observed
+values, and the fresh plan replaces the stale one in place — under the
+entry's lock, so concurrent readers never see a torn entry.
+
+Thread safety: the cache-level lock guards only the LRU map and the
+counters; plan compilation happens under the per-entry lock, so a
+burst of concurrent first requests for the same query optimizes once
+(single-flight) while requests for *different* queries compile in
+parallel.
+"""
+
+import threading
+from collections import OrderedDict
+
+from repro.algebra.expressions import SelectionPredicate
+from repro.common.intervals import Interval
+from repro.cost.parameters import MEMORY_PARAMETER, Parameter
+from repro.optimizer.query import QuerySpec, canonical_signature, signature_digest
+
+
+class CacheStatistics:
+    """Mutable counters describing cache behaviour."""
+
+    __slots__ = ("lookups", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self):
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups that found a compiled plan."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self):
+        """An immutable copy of the counters as a dict."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self):
+        return (
+            "CacheStatistics(lookups=%d, hits=%d, misses=%d, "
+            "evictions=%d, invalidations=%d)"
+            % (
+                self.lookups,
+                self.hits,
+                self.misses,
+                self.evictions,
+                self.invalidations,
+            )
+        )
+
+
+class PlanCacheEntry:
+    """One cached dynamic plan plus its usage accounting.
+
+    ``covered_bounds`` maps each uncertain parameter name to the
+    :class:`~repro.common.intervals.Interval` the current plan was
+    optimized over; ``observed`` tracks the (lo, hi) range of bindings
+    actually seen, which drives the re-optimization decision and is
+    reported by the service statistics.
+    """
+
+    def __init__(self, signature, query):
+        self.signature = signature
+        self.digest = signature_digest(signature)
+        self.query = query
+        self.plan = None
+        #: Compiled start-up decision procedure, or None for the
+        #: interpreted fallback (see :mod:`repro.service.decision`).
+        self.decision = None
+        self.parameter_space = query.parameter_space
+        self.covered_bounds = _covered_bounds(query.parameter_space)
+        self.observed = {}
+        self.hits = 0
+        self.reoptimizations = 0
+        self.lock = threading.RLock()
+
+    def install(self, plan, parameter_space, decision=None):
+        """Publish a compiled plan (call with ``self.lock`` held)."""
+        self.plan = plan
+        self.decision = decision
+        self.parameter_space = parameter_space
+        self.covered_bounds = _covered_bounds(parameter_space)
+
+    def snapshot(self):
+        """Consistent ``(plan, parameter_space, decision)`` for start-up."""
+        with self.lock:
+            return self.plan, self.parameter_space, self.decision
+
+    def stale_parameters(self, bindings):
+        """Bound parameters falling outside the covered intervals.
+
+        Returns a list of ``(name, value)`` pairs; an empty list means
+        the cached plan's optimality argument covers these bindings.
+        """
+        stale = []
+        with self.lock:
+            for name, bounds in self.covered_bounds.items():
+                if not bindings.has_parameter(name):
+                    continue
+                value = bindings.parameter(name)
+                if not bounds.contains(value):
+                    stale.append((name, value))
+        return stale
+
+    def observe(self, bindings):
+        """Record the binding values of one invocation."""
+        with self.lock:
+            for name in self.covered_bounds:
+                if not bindings.has_parameter(name):
+                    continue
+                value = bindings.parameter(name)
+                seen = self.observed.get(name)
+                if seen is None:
+                    self.observed[name] = (value, value)
+                else:
+                    self.observed[name] = (min(seen[0], value), max(seen[1], value))
+
+    def widened_query(self, stale):
+        """The entry's query with bounds widened to cover stale values.
+
+        ``stale`` is the ``(name, value)`` list from
+        :meth:`stale_parameters`.  Selection-selectivity parameters are
+        widened on their predicates (the parameter space is rebuilt by
+        the :class:`~repro.optimizer.query.QuerySpec` constructor); an
+        out-of-bounds memory binding widens the memory parameter
+        directly on the rebuilt space.
+        """
+        drift = dict(stale)
+        selections = {}
+        for relation_name, predicate in self.query.selections.items():
+            name = predicate.selectivity_parameter
+            if predicate.is_uncertain and name in drift:
+                bounds = predicate.selectivity_bounds
+                lower = min(bounds.lower, drift[name])
+                upper = max(bounds.upper, drift[name])
+                predicate = SelectionPredicate(
+                    predicate.comparison,
+                    selectivity_parameter=name,
+                    selectivity_bounds=(lower, upper),
+                    expected_selectivity=predicate.expected_selectivity,
+                )
+            selections[relation_name] = predicate
+        widened = QuerySpec(
+            self.query.relations,
+            selections,
+            self.query.join_predicates,
+            memory_uncertain=self.query.memory_uncertain,
+            name=self.query.name,
+            projection=self.query.projection,
+        )
+        if MEMORY_PARAMETER in drift:
+            memory = widened.parameter_space.get(MEMORY_PARAMETER)
+            lower = min(memory.bounds.lower, drift[MEMORY_PARAMETER])
+            upper = max(memory.bounds.upper, drift[MEMORY_PARAMETER])
+            widened.parameter_space.add(
+                Parameter(
+                    MEMORY_PARAMETER,
+                    (lower, upper),
+                    memory.expected,
+                    uncertain=memory.uncertain,
+                )
+            )
+        return widened
+
+    def __repr__(self):
+        return "PlanCacheEntry(%s, hits=%d, reoptimizations=%d, compiled=%s)" % (
+            self.digest,
+            self.hits,
+            self.reoptimizations,
+            self.plan is not None,
+        )
+
+
+def _covered_bounds(parameter_space):
+    """Intervals of the uncertain parameters a plan was built over."""
+    bounds = {}
+    for name in parameter_space.uncertain_names():
+        parameter = parameter_space.get(name)
+        bounds[name] = Interval(parameter.bounds.lower, parameter.bounds.upper)
+    return bounds
+
+
+class PlanCache:
+    """Thread-safe LRU map from canonical query signature to entry."""
+
+    def __init__(self, capacity=64):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.stats = CacheStatistics()
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def entry_for(self, query):
+        """Look up (or create) the entry for a query.
+
+        Returns ``(entry, compiled)`` where ``compiled`` says whether a
+        plan was already installed at lookup time — the hit/miss
+        classification.  Creating an entry may evict the least recently
+        used one.  The caller compiles missing plans under
+        ``entry.lock`` and publishes them with ``entry.install``.
+        """
+        signature = canonical_signature(query)
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(signature)
+            if entry is not None:
+                self._entries.move_to_end(signature)
+                compiled = entry.plan is not None
+                if compiled:
+                    self.stats.hits += 1
+                    entry.hits += 1
+                else:
+                    self.stats.misses += 1
+                return entry, compiled
+            entry = PlanCacheEntry(signature, query)
+            self._entries[signature] = entry
+            self.stats.misses += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return entry, False
+
+    def get(self, query):
+        """The entry for a query, or ``None`` (no statistics side effects)."""
+        signature = canonical_signature(query)
+        with self._lock:
+            return self._entries.get(signature)
+
+    def invalidate(self, query):
+        """Drop a query's entry; returns True when one was removed."""
+        signature = canonical_signature(query)
+        with self._lock:
+            removed = self._entries.pop(signature, None) is not None
+            if removed:
+                self.stats.invalidations += 1
+            return removed
+
+    def record_reoptimization(self):
+        """Count one staleness-driven in-place re-optimization."""
+        with self._lock:
+            self.stats.invalidations += 1
+
+    def entries(self):
+        """Entries in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def clear(self):
+        """Remove every entry (statistics are retained)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, query):
+        return self.get(query) is not None
+
+    def __repr__(self):
+        return "PlanCache(%d/%d entries, %r)" % (
+            len(self),
+            self.capacity,
+            self.stats,
+        )

@@ -1,0 +1,191 @@
+"""Workload replay through the query service.
+
+Implements the ``python -m repro serve-batch`` CLI: materialize a
+:class:`~repro.workloads.service.ServiceWorkloadSpec`, push its full
+invocation sequence through a :class:`~repro.service.QueryService`
+thread pool, and report the quantities the paper's amortization
+argument is about — cache hit rate, start-up latency percentiles, and
+the speedup over optimizing every invocation from scratch.
+
+The baseline is *optimize-per-query*: a system without a plan cache
+pays a fresh optimization for every invocation (the paper's run-time
+optimization remedy).  Its per-invocation cost is measured by timing a
+few optimizer runs per distinct query (``baseline_samples``) rather
+than re-optimizing all N invocations; the reported baseline is the
+optimization cost alone — conservative, since the no-cache system
+would pay its own start-up on top.
+"""
+
+import time
+
+from repro.catalog.synthetic import populate_database
+from repro.service.service import QueryService, ServiceRequest
+from repro.storage.database import Database
+from repro.workloads.service import generate_service_requests
+
+
+class ReplayReport:
+    """Everything one replay produced, ready for rendering."""
+
+    def __init__(
+        self,
+        spec,
+        results,
+        stats,
+        wall_seconds,
+        baseline_means,
+        per_query,
+    ):
+        self.spec = spec
+        self.results = results
+        #: :class:`~repro.service.service.ServiceStatistics` snapshot.
+        self.stats = stats
+        self.wall_seconds = wall_seconds
+        #: query name -> mean seconds of one from-scratch optimization.
+        self.baseline_means = baseline_means
+        #: query name -> dict of per-query counters.
+        self.per_query = per_query
+        self.service_seconds = sum(
+            result.optimize_seconds + result.startup_seconds for result in results
+        )
+        self.baseline_seconds = sum(baseline_means[result.tag] for result in results)
+        #: Optimize-per-query cost over the service's optimize+start-up
+        #: cost for the same invocation sequence.
+        if self.service_seconds > 0.0:
+            self.speedup = self.baseline_seconds / self.service_seconds
+        else:
+            self.speedup = 0.0
+
+    @property
+    def hit_rate(self):
+        """Fraction of invocations served from the plan cache."""
+        return self.stats.hit_rate
+
+    @property
+    def rows_total(self):
+        """Total rows produced (0 when execution was disabled)."""
+        return sum(result.row_count or 0 for result in self.results)
+
+    def __repr__(self):
+        return "ReplayReport(%d invocations, hit_rate=%.2f, speedup=%.1fx)" % (
+            len(self.results),
+            self.hit_rate,
+            self.speedup,
+        )
+
+
+def replay_spec(spec, execute=None, baseline_samples=2, optimize=None):
+    """Replay a service workload spec; returns a :class:`ReplayReport`.
+
+    ``execute`` overrides the spec's execute flag (useful for latency-
+    only smoke runs); ``optimize`` overrides the optimizer entry point
+    for both the service and the baseline measurement.
+    """
+    if optimize is None:
+        from repro.optimizer.optimizer import optimize_dynamic
+
+        optimize = optimize_dynamic
+    workloads, requests = generate_service_requests(spec)
+    catalog = workloads[0].catalog
+    database = Database(catalog)
+    do_execute = spec.execute if execute is None else execute
+    if do_execute:
+        populate_database(database, seed=spec.seed)
+
+    service_requests = [
+        ServiceRequest(workload.query, bindings, tag=workload.query.name)
+        for workload, bindings in requests
+    ]
+    with QueryService(
+        database,
+        capacity=spec.capacity,
+        max_workers=spec.threads,
+        optimize=optimize,
+        execute=do_execute,
+    ) as service:
+        started = time.perf_counter()
+        results = service.run_batch(service_requests)
+        wall_seconds = time.perf_counter() - started
+        stats = service.stats()
+
+    baseline_means = {}
+    for workload in workloads:
+        samples = []
+        for _ in range(max(1, baseline_samples)):
+            sample_started = time.perf_counter()
+            optimize(catalog, workload.query)
+            samples.append(time.perf_counter() - sample_started)
+        baseline_means[workload.query.name] = sum(samples) / len(samples)
+
+    per_query = {}
+    for result in results:
+        counters = per_query.setdefault(
+            result.tag,
+            {"invocations": 0, "hits": 0, "reoptimizations": 0, "startup": 0.0},
+        )
+        counters["invocations"] += 1
+        counters["hits"] += 1 if result.cache_hit else 0
+        counters["reoptimizations"] += 1 if result.reoptimized else 0
+        counters["startup"] += result.startup_seconds
+    return ReplayReport(spec, results, stats, wall_seconds, baseline_means, per_query)
+
+
+def render_report(report):
+    """The replay report as printable text."""
+    stats = report.stats
+    lines = []
+    lines.append(
+        "serve-batch: %d invocations over %d query shapes, %d threads"
+        % (len(report.results), len(report.spec.queries), report.spec.threads)
+    )
+    lines.append("")
+    lines.append(
+        "  %-24s %6s %6s %7s %12s %12s"
+        % ("query", "calls", "hits", "reopt", "startup-mean", "optimize")
+    )
+    for name in sorted(report.per_query):
+        counters = report.per_query[name]
+        lines.append(
+            "  %-24s %6d %6d %7d %11.3fms %10.3fms"
+            % (
+                name,
+                counters["invocations"],
+                counters["hits"],
+                counters["reoptimizations"],
+                1000.0 * counters["startup"] / counters["invocations"],
+                1000.0 * report.baseline_means[name],
+            )
+        )
+    lines.append("")
+    lines.append(
+        "  cache: %.1f%% hit rate (%d hits / %d lookups), "
+        "%d evictions, %d re-optimizations"
+        % (
+            100.0 * stats.hit_rate,
+            stats.cache["hits"],
+            stats.cache["lookups"],
+            stats.cache["evictions"],
+            stats.cache["invalidations"],
+        )
+    )
+    lines.append(
+        "  start-up latency: p50 %.3fms  p95 %.3fms  mean %.3fms"
+        % (
+            1000.0 * stats.startup_p50,
+            1000.0 * stats.startup_p95,
+            1000.0 * stats.startup_mean,
+        )
+    )
+    lines.append(
+        "  optimize-per-query baseline: %.3fs; service spent %.3fs "
+        "-> speedup %.1fx"
+        % (report.baseline_seconds, report.service_seconds, report.speedup)
+    )
+    if report.rows_total:
+        lines.append(
+            "  executed %d invocations producing %d rows in %.3fs wall"
+            % (len(report.results), report.rows_total, report.wall_seconds)
+        )
+    else:
+        lines.append("  wall time: %.3fs" % report.wall_seconds)
+    return "\n".join(lines)

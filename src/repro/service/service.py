@@ -1,0 +1,377 @@
+"""The long-lived query service: cached plans, concurrent start-up.
+
+:class:`QueryService` fronts the optimizer and executor with the
+paper's embedded-SQL amortization: the *first* invocation of a query
+pays full dynamic-plan optimization; every later invocation finds the
+compiled plan in the LRU cache and pays only the choose-plan start-up
+decision under its fresh bindings, then (optionally) executes the
+chosen static plan.
+
+Concurrency model:
+
+* start-up decisions (:func:`~repro.executor.startup.activate_plan`)
+  are re-entrant over a shared plan DAG, so any number of pool threads
+  resolve the same cached plan simultaneously without locking;
+* plan *compilation* and staleness-driven re-optimization mutate the
+  cache entry and therefore run under the per-entry lock
+  (single-flight: a burst of first requests optimizes once);
+* actual data execution mutates the shared database's I/O counters,
+  so it is serialized by a database lock — the measured quantity of
+  this subsystem is start-up cost, which stays fully concurrent.
+
+Determinism: the service itself draws no randomness.  Workload
+generation and replay derive every stream from explicit seeds via
+:mod:`repro.common.rng`, and requests are generated *before* they are
+submitted to the pool, so thread scheduling cannot perturb any RNG
+stream (see :mod:`repro.workloads.service`).
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.executor.engine import execute_plan
+from repro.executor.startup import activate_plan
+from repro.service.cache import PlanCache
+from repro.service.decision import CompiledDecision, DecisionCompilationError
+
+
+def percentile(values, fraction):
+    """Linear-interpolation percentile of a non-empty value list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class ServiceRequest:
+    """One invocation: a query plus its start-up bindings."""
+
+    __slots__ = ("query", "bindings", "execute", "tag")
+
+    def __init__(self, query, bindings, execute=None, tag=None):
+        self.query = query
+        self.bindings = bindings
+        #: None inherits the service default; True/False overrides it.
+        self.execute = execute
+        self.tag = tag
+
+    def __repr__(self):
+        return "ServiceRequest(%s, tag=%r)" % (self.query.name, self.tag)
+
+
+class ServiceResult:
+    """Everything one invocation through the service produced."""
+
+    __slots__ = (
+        "digest",
+        "cache_hit",
+        "reoptimized",
+        "chosen",
+        "startup_report",
+        "optimize_seconds",
+        "startup_seconds",
+        "execution",
+        "total_seconds",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        digest,
+        cache_hit,
+        reoptimized,
+        chosen,
+        startup_report,
+        optimize_seconds,
+        startup_seconds,
+        execution,
+        total_seconds,
+        tag=None,
+    ):
+        self.digest = digest
+        self.cache_hit = cache_hit
+        self.reoptimized = reoptimized
+        #: The fully static plan the decision procedures chose.
+        self.chosen = chosen
+        self.startup_report = startup_report
+        #: Wall-clock seconds spent optimizing (0.0 on a cache hit).
+        self.optimize_seconds = optimize_seconds
+        #: Wall-clock seconds of the start-up decision pass.
+        self.startup_seconds = startup_seconds
+        self.execution = execution
+        self.total_seconds = total_seconds
+        self.tag = tag
+
+    @property
+    def row_count(self):
+        """Rows produced, or ``None`` when execution was skipped."""
+        return None if self.execution is None else self.execution.row_count
+
+    def __repr__(self):
+        return "ServiceResult(%s, hit=%s, startup=%.6fs, optimize=%.6fs)" % (
+            self.digest,
+            self.cache_hit,
+            self.startup_seconds,
+            self.optimize_seconds,
+        )
+
+
+class ServiceStatistics:
+    """Point-in-time summary of service behaviour."""
+
+    __slots__ = (
+        "requests",
+        "cache",
+        "startup_p50",
+        "startup_p95",
+        "startup_mean",
+        "optimize_mean",
+        "optimize_count",
+        "amortization",
+    )
+
+    def __init__(self, requests, cache, startup_seconds, optimize_seconds):
+        self.requests = requests
+        #: Snapshot dict of the plan cache's counters.
+        self.cache = cache
+        self.startup_p50 = percentile(startup_seconds, 0.50) if startup_seconds else 0.0
+        self.startup_p95 = percentile(startup_seconds, 0.95) if startup_seconds else 0.0
+        self.startup_mean = (
+            sum(startup_seconds) / len(startup_seconds) if startup_seconds else 0.0
+        )
+        self.optimize_mean = (
+            sum(optimize_seconds) / len(optimize_seconds) if optimize_seconds else 0.0
+        )
+        self.optimize_count = len(optimize_seconds)
+        #: Mean optimization cost over mean start-up cost: how many
+        #: times cheaper a cached invocation is than re-optimizing.
+        if self.startup_mean > 0.0 and self.optimize_mean > 0.0:
+            self.amortization = self.optimize_mean / self.startup_mean
+        else:
+            self.amortization = 0.0
+
+    @property
+    def hit_rate(self):
+        """Fraction of requests served from the plan cache."""
+        return self.cache["hit_rate"]
+
+    def __repr__(self):
+        return (
+            "ServiceStatistics(requests=%d, hit_rate=%.2f, "
+            "startup_p50=%.6fs, startup_p95=%.6fs, amortization=%.1fx)"
+            % (
+                self.requests,
+                self.hit_rate,
+                self.startup_p50,
+                self.startup_p95,
+                self.amortization,
+            )
+        )
+
+
+class QueryService:
+    """A thread-pooled query front end with a dynamic-plan cache.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.storage.database.Database` served; its
+        catalog is the compilation context for every cached plan (one
+        service instance per catalog — the cache key assumes it).
+    capacity:
+        LRU plan-cache capacity, in entries.
+    max_workers:
+        Thread-pool width for :meth:`submit` / :meth:`run_batch`.
+    optimize:
+        Optimizer entry point, ``optimize_dynamic`` by default.
+    execute:
+        Service-wide default for running the chosen plan against the
+        database after the start-up decision.
+    branch_and_bound:
+        Forwarded to the start-up decision procedure.
+    validate:
+        Validate plans against the catalog when they are installed in
+        the cache (the paper's [CAK81] check, once per compilation
+        rather than once per start-up — catalogs here are static).
+    compiled:
+        Compile each cached plan's start-up decision procedure into a
+        scalar evaluation program (:mod:`repro.service.decision`).
+        Plans the compiler cannot handle fall back to the interpreted
+        :func:`~repro.executor.startup.resolve_dynamic_plan` path,
+        which makes identical decisions, just slower.
+    """
+
+    def __init__(
+        self,
+        database,
+        capacity=64,
+        max_workers=8,
+        optimize=None,
+        execute=True,
+        branch_and_bound=False,
+        validate=False,
+        compiled=True,
+    ):
+        if optimize is None:
+            from repro.optimizer.optimizer import optimize_dynamic
+
+            optimize = optimize_dynamic
+        self.database = database
+        self.catalog = database.catalog
+        self.cache = PlanCache(capacity)
+        self.default_execute = bool(execute)
+        self.branch_and_bound = bool(branch_and_bound)
+        self.validate = bool(validate)
+        self.compiled = bool(compiled)
+        self._optimize = optimize
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._db_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._startup_seconds = []
+        self._optimize_seconds = []
+        self._requests = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def run(self, query, bindings, execute=None, tag=None):
+        """Serve one invocation synchronously on the calling thread."""
+        started = time.perf_counter()
+        entry, cache_hit = self.cache.entry_for(query)
+        optimize_seconds = 0.0
+
+        if not cache_hit:
+            with entry.lock:
+                if entry.plan is None:
+                    optimize_seconds += self._compile(entry, entry.query)
+
+        reoptimized = False
+        stale = entry.stale_parameters(bindings)
+        if stale:
+            with entry.lock:
+                stale = entry.stale_parameters(bindings)
+                if stale:
+                    widened = entry.widened_query(stale)
+                    optimize_seconds += self._compile(entry, widened)
+                    entry.reoptimizations += 1
+                    self.cache.record_reoptimization()
+                    reoptimized = True
+        entry.observe(bindings)
+
+        plan, parameter_space, decision = entry.snapshot()
+        decision_started = time.perf_counter()
+        if decision is not None:
+            chosen, report = decision.choose(bindings)
+        else:
+            chosen, report = activate_plan(
+                plan,
+                self.catalog,
+                parameter_space,
+                bindings,
+                branch_and_bound=self.branch_and_bound,
+                validate=False,
+            )
+        startup_seconds = time.perf_counter() - decision_started
+
+        execution = None
+        do_execute = self.default_execute if execute is None else execute
+        if do_execute:
+            with self._db_lock:
+                execution = execute_plan(
+                    chosen, self.database, bindings, parameter_space
+                )
+
+        total_seconds = time.perf_counter() - started
+        with self._stats_lock:
+            self._requests += 1
+            self._startup_seconds.append(startup_seconds)
+            if optimize_seconds > 0.0:
+                self._optimize_seconds.append(optimize_seconds)
+        return ServiceResult(
+            entry.digest,
+            cache_hit and not reoptimized,
+            reoptimized,
+            chosen,
+            report,
+            optimize_seconds,
+            startup_seconds,
+            execution,
+            total_seconds,
+            tag=tag,
+        )
+
+    def _compile(self, entry, query):
+        """Optimize ``query`` into ``entry`` (entry lock held); seconds."""
+        compile_started = time.perf_counter()
+        result = self._optimize(self.catalog, query)
+        plan = result.plan
+        if self.validate:
+            from repro.executor.validation import validate_plan
+
+            plan = validate_plan(plan, self.catalog)
+        decision = None
+        if self.compiled:
+            try:
+                decision = CompiledDecision(plan, self.catalog, query.parameter_space)
+            except DecisionCompilationError:
+                decision = None
+        entry.install(plan, query.parameter_space, decision)
+        return time.perf_counter() - compile_started
+
+    def submit(self, query, bindings, execute=None, tag=None):
+        """Serve one invocation on the pool; returns a Future."""
+        return self._pool.submit(self.run, query, bindings, execute, tag)
+
+    def run_batch(self, requests):
+        """Serve many requests concurrently, preserving request order.
+
+        ``requests`` is an iterable of :class:`ServiceRequest`.  The
+        result list aligns with the request list regardless of the
+        order in which pool threads finish.
+        """
+        futures = [
+            self.submit(request.query, request.bindings, request.execute, request.tag)
+            for request in requests
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """A :class:`ServiceStatistics` snapshot."""
+        with self._stats_lock:
+            startup = list(self._startup_seconds)
+            optimize = list(self._optimize_seconds)
+            requests = self._requests
+        return ServiceStatistics(
+            requests, self.cache.stats.snapshot(), startup, optimize
+        )
+
+    def shutdown(self, wait=True):
+        """Stop the pool; the cache stays readable."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.shutdown()
+        return False
+
+    def __repr__(self):
+        return "QueryService(%d cached plans, %d requests)" % (
+            len(self.cache),
+            self._requests,
+        )

@@ -11,7 +11,6 @@ import pytest
 
 from repro.algebra.physical import FilterBTreeScan
 from repro.catalog import (
-    Catalog,
     IndexInfo,
     build_synthetic_catalog,
     default_relation_specs,

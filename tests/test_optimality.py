@@ -12,7 +12,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.executor import resolve_dynamic_plan
 from repro.optimizer import (
-    OptimizerConfig,
     optimize_dynamic,
     optimize_exhaustive,
     optimize_runtime,
@@ -21,7 +20,6 @@ from repro.scenarios import predicted_execution_seconds
 from repro.workloads import (
     binding_series,
     make_join_workload,
-    paper_workload,
     random_bindings,
 )
 

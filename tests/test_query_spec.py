@@ -10,7 +10,6 @@ from repro.algebra import (
     JoinPredicate,
     Select,
     SelectionPredicate,
-    UserVariable,
 )
 from repro.common.errors import OptimizationError
 from repro.cost.parameters import MEMORY_PARAMETER

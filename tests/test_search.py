@@ -4,8 +4,6 @@ import pytest
 
 from repro.algebra.physical import (
     ChoosePlan,
-    FileScan,
-    Filter,
     FilterBTreeScan,
     HashJoin,
     IndexJoin,
@@ -17,7 +15,6 @@ from repro.cost.parameters import Valuation
 from repro.optimizer import (
     OptimizerConfig,
     OptimizerMode,
-    SearchEngine,
     optimize_dynamic,
     optimize_exhaustive,
     optimize_static,

@@ -1,0 +1,419 @@
+"""The query service: plan cache, concurrency, staleness, CLI.
+
+The stress test is the load-bearing one: many pool threads resolve the
+*same* cached dynamic plan under different bindings, and every
+decision must match a single-threaded interpreted reference run —
+start-up procedures are re-entrant and the compiled decision programs
+make identical choices.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.cost.parameters import Bindings
+from repro.executor.startup import resolve_dynamic_plan
+from repro.optimizer import (
+    canonical_signature,
+    optimize_dynamic,
+    signature_digest,
+)
+from repro.optimizer.query import QuerySpec
+from repro.service import (
+    CompiledDecision,
+    PlanCache,
+    QueryService,
+    ServiceRequest,
+    render_report,
+    replay_spec,
+)
+from repro.storage import Database
+from repro.workloads import paper_workload, random_bindings
+from repro.workloads.queries import (
+    make_join_predicates,
+    make_selection_predicate,
+    selection_variable_name,
+)
+from repro.workloads.service import (
+    ServiceQuerySpec,
+    ServiceWorkloadSpec,
+    build_service_workloads,
+    generate_service_requests,
+    service_request_bindings,
+)
+
+
+def narrow_workload(bounds=(0.0, 0.3)):
+    """A 2-way service workload whose selectivities are compiled over
+    a narrowed interval — bindings outside ``bounds`` are stale."""
+    spec = ServiceWorkloadSpec(
+        [ServiceQuerySpec(2, selectivity_bounds=bounds)], seed=7
+    )
+    return build_service_workloads(spec)[0]
+
+
+def bindings_at(workload, selectivity):
+    """Bindings setting every unbound selectivity to one value."""
+    bindings = Bindings()
+    for relation_name in workload.query.relations:
+        predicate = workload.query.selection_for(relation_name)
+        if predicate is None or not predicate.is_uncertain:
+            continue
+        domain = workload.catalog.domain_size(relation_name, "a")
+        bindings.bind(predicate.selectivity_parameter, selectivity)
+        bindings.bind_variable(
+            selection_variable_name(relation_name), selectivity * domain
+        )
+    return bindings
+
+
+class TestCanonicalSignature:
+    def test_equal_structure_equal_signature(self, workload2):
+        query = workload2.query
+        renamed = QuerySpec(
+            query.relations,
+            query.selections,
+            query.join_predicates,
+            memory_uncertain=query.memory_uncertain,
+            name="a-completely-different-name",
+            projection=query.projection,
+        )
+        assert canonical_signature(query) == canonical_signature(renamed)
+        assert query.signature() == renamed.signature()
+
+    def test_relation_order_is_canonicalized(self, workload2):
+        query = workload2.query
+        reversed_spec = QuerySpec(
+            list(reversed(query.relations)),
+            query.selections,
+            query.join_predicates,
+            memory_uncertain=query.memory_uncertain,
+            name=query.name,
+            projection=query.projection,
+        )
+        assert canonical_signature(query) == canonical_signature(reversed_spec)
+
+    def test_different_structure_different_signature(
+        self, workload1, workload2
+    ):
+        assert canonical_signature(workload1.query) != canonical_signature(
+            workload2.query
+        )
+
+    def test_memory_uncertainty_is_part_of_the_key(self, workload2,
+                                                   workload2_mem):
+        assert canonical_signature(workload2.query) != canonical_signature(
+            workload2_mem.query
+        )
+
+    def test_unbound_parameter_set_is_part_of_the_key(self):
+        relations = ["R1", "R2"]
+        joins = make_join_predicates(relations, "chain")
+        uncertain = QuerySpec(
+            relations,
+            {name: make_selection_predicate(name) for name in relations},
+            joins,
+        )
+        partially_bound = QuerySpec(
+            relations,
+            {
+                "R1": make_selection_predicate("R1"),
+                "R2": make_selection_predicate("R2", uncertain=False),
+            },
+            joins,
+        )
+        assert canonical_signature(uncertain) != canonical_signature(
+            partially_bound
+        )
+
+    def test_digest_is_stable_and_short(self, workload2):
+        signature = canonical_signature(workload2.query)
+        assert signature_digest(signature) == signature_digest(signature)
+        assert len(signature_digest(signature)) == 16
+
+
+class TestPlanCache:
+    def queries(self, count):
+        """Structurally distinct queries (distinct cache signatures)."""
+        return [
+            paper_workload(number, seed=0).query
+            for number in range(1, count + 1)
+        ]
+
+    def test_miss_then_hit(self, workload2):
+        cache = PlanCache(capacity=4)
+        entry, hit = cache.entry_for(workload2.query)
+        assert not hit
+        # The entry exists but holds no plan yet: still a miss.
+        entry2, hit = cache.entry_for(workload2.query)
+        assert entry2 is entry and not hit
+        entry.install(object(), workload2.query.parameter_space)
+        _, hit = cache.entry_for(workload2.query)
+        assert hit
+        stats = cache.stats.snapshot()
+        assert stats["lookups"] == 3
+        assert stats["hits"] == 1 and stats["misses"] == 2
+
+    def test_lru_eviction(self):
+        first, second, third = self.queries(3)
+        cache = PlanCache(capacity=2)
+        cache.entry_for(first)
+        cache.entry_for(second)
+        cache.entry_for(first)  # refresh: second is now least recent
+        cache.entry_for(third)  # evicts second
+        assert len(cache) == 2
+        assert first in cache and third in cache
+        assert second not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self, workload2):
+        cache = PlanCache(capacity=4)
+        cache.entry_for(workload2.query)
+        assert cache.invalidate(workload2.query)
+        assert workload2.query not in cache
+        assert not cache.invalidate(workload2.query)
+        assert cache.stats.invalidations == 1
+
+
+class TestStaleness:
+    def test_out_of_bounds_binding_reoptimizes_in_place(self):
+        workload = narrow_workload(bounds=(0.0, 0.3))
+        service = QueryService(
+            Database(workload.catalog), execute=False, max_workers=2
+        )
+        with service:
+            inside = service.run(workload.query, bindings_at(workload, 0.2))
+            assert not inside.cache_hit and not inside.reoptimized
+
+            drifted = service.run(workload.query, bindings_at(workload, 0.9))
+            assert drifted.reoptimized and not drifted.cache_hit
+            assert drifted.optimize_seconds > 0.0
+
+            # The widened plan now covers the drifted value: no second
+            # re-optimization, and the entry survived under its key.
+            again = service.run(workload.query, bindings_at(workload, 0.9))
+            assert again.cache_hit and not again.reoptimized
+        assert len(service.cache) == 1
+        entry = service.cache.get(workload.query)
+        assert entry.reoptimizations == 1
+        for bounds in entry.covered_bounds.values():
+            assert bounds.contains(0.9)
+        assert service.cache.stats.invalidations == 1
+
+    def test_observed_ranges_are_tracked(self):
+        workload = narrow_workload()
+        service = QueryService(
+            Database(workload.catalog), execute=False, max_workers=2
+        )
+        with service:
+            service.run(workload.query, bindings_at(workload, 0.10))
+            service.run(workload.query, bindings_at(workload, 0.25))
+        entry = service.cache.get(workload.query)
+        for name in entry.covered_bounds:
+            low, high = entry.observed[name]
+            assert low == pytest.approx(0.10)
+            assert high == pytest.approx(0.25)
+
+
+class TestCompiledDecision:
+    @pytest.mark.parametrize("paper_query", [1, 2, 3])
+    def test_matches_interpreted_resolution(self, paper_query):
+        workload = paper_workload(paper_query, seed=0)
+        plan = optimize_dynamic(workload.catalog, workload.query).plan
+        decision = CompiledDecision(
+            plan, workload.catalog, workload.query.parameter_space
+        )
+        for seed in range(20):
+            bindings = random_bindings(workload, seed=seed)
+            compiled_plan, compiled_report = decision.choose(bindings)
+            reference_plan, reference_report = resolve_dynamic_plan(
+                plan, workload.catalog, workload.query.parameter_space,
+                bindings,
+            )
+            assert compiled_plan.signature() == reference_plan.signature()
+            assert (
+                compiled_report.choice_signature()
+                == reference_report.choice_signature()
+            )
+            assert compiled_report.decisions == reference_report.decisions
+
+
+class TestQueryService:
+    THREADS = 8
+
+    def reference_signatures(self, workload, plan, all_bindings):
+        return [
+            resolve_dynamic_plan(
+                plan, workload.catalog, workload.query.parameter_space,
+                bindings,
+            )[1].choice_signature()
+            for bindings in all_bindings
+        ]
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_concurrent_startup_matches_single_threaded(self, compiled):
+        workload = paper_workload(2, seed=0)
+        all_bindings = [
+            service_request_bindings(workload, seed=0, run_index=index)
+            for index in range(48)
+        ]
+        service = QueryService(
+            Database(workload.catalog),
+            execute=False,
+            max_workers=self.THREADS,
+            compiled=compiled,
+        )
+        with service:
+            results = service.run_batch(
+                ServiceRequest(workload.query, bindings)
+                for bindings in all_bindings
+            )
+            plan = service.cache.get(workload.query).plan
+        expected = self.reference_signatures(workload, plan, all_bindings)
+        actual = [
+            result.startup_report.choice_signature() for result in results
+        ]
+        assert actual == expected
+        # Several distinct decisions, or the test proves nothing.
+        assert len(set(expected)) > 1
+        assert sum(1 for result in results if not result.cache_hit) >= 1
+        assert service.cache.stats.snapshot()["lookups"] == len(all_bindings)
+
+    def test_single_flight_compilation(self):
+        workload = paper_workload(2, seed=0)
+        calls = []
+        from repro.optimizer.optimizer import optimize_dynamic as real
+
+        def counting_optimize(catalog, query):
+            calls.append(query.name)
+            return real(catalog, query)
+
+        service = QueryService(
+            Database(workload.catalog),
+            execute=False,
+            max_workers=self.THREADS,
+            optimize=counting_optimize,
+        )
+        all_bindings = [
+            service_request_bindings(workload, seed=1, run_index=index)
+            for index in range(16)
+        ]
+        with service:
+            service.run_batch(
+                ServiceRequest(workload.query, bindings)
+                for bindings in all_bindings
+            )
+        assert len(calls) == 1
+
+    def test_execution_through_the_service(self, workload2, database2):
+        service = QueryService(database2, execute=True, max_workers=4)
+        all_bindings = [
+            service_request_bindings(workload2, seed=2, run_index=index)
+            for index in range(8)
+        ]
+        with service:
+            results = service.run_batch(
+                ServiceRequest(workload2.query, bindings)
+                for bindings in all_bindings
+            )
+        for result in results:
+            assert result.execution is not None
+            assert result.row_count >= 0
+
+    def test_stats_snapshot(self):
+        workload = paper_workload(1, seed=0)
+        service = QueryService(
+            Database(workload.catalog), execute=False, max_workers=2
+        )
+        with service:
+            for index in range(6):
+                service.run(
+                    workload.query,
+                    service_request_bindings(workload, 0, index),
+                )
+        stats = service.stats()
+        assert stats.requests == 6
+        assert stats.optimize_count == 1
+        assert stats.startup_p50 <= stats.startup_p95
+        assert stats.hit_rate == pytest.approx(5.0 / 6.0)
+        assert stats.amortization > 1.0
+
+
+class TestReplayDeterminism:
+    def test_request_generation_is_reproducible(self):
+        spec = ServiceWorkloadSpec.default(invocations=30, seed=11)
+        _, first = generate_service_requests(spec)
+        _, second = generate_service_requests(spec)
+        assert [workload.query.name for workload, _ in first] == [
+            workload.query.name for workload, _ in second
+        ]
+        for (_, left), (_, right) in zip(first, second):
+            assert left._parameters == right._parameters
+            assert left._variables == right._variables
+
+    def test_replay_decisions_survive_thread_scheduling(self):
+        spec = ServiceWorkloadSpec.default(
+            invocations=24, threads=8, seed=4, execute=False
+        )
+        first = replay_spec(spec)
+        second = replay_spec(spec)
+
+        def signatures(report):
+            return [
+                result.startup_report.choice_signature()
+                for result in report.results
+            ]
+
+        assert signatures(first) == signatures(second)
+        # Hit/miss *classification* is timing-dependent (a burst of
+        # concurrent first requests may each count as a miss before the
+        # plan lands), so only the scheduling-invariant parts compare.
+        assert first.stats.cache["lookups"] == second.stats.cache["lookups"]
+        assert [result.tag for result in first.results] == [
+            result.tag for result in second.results
+        ]
+
+
+class TestServeBatchCli:
+    def test_default_spec(self, capsys):
+        code = main(
+            ["serve-batch", "--invocations", "16", "--no-execute",
+             "--seed", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "hit rate" in output
+        assert "speedup" in output
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "mix.json"
+        spec_path.write_text(json.dumps({
+            "invocations": 10,
+            "threads": 4,
+            "execute": False,
+            "queries": [
+                {"relations": 1, "weight": 2},
+                {"relations": 2, "weight": 1,
+                 "selectivity_bounds": [0.0, 0.4], "drift": 0.5},
+            ],
+        }))
+        assert main(["serve-batch", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "2 query shapes" in output
+
+    def test_render_report_mentions_reoptimizations(self):
+        spec = ServiceWorkloadSpec(
+            [
+                ServiceQuerySpec(
+                    2, selectivity_bounds=(0.0, 0.2), drift=0.6
+                )
+            ],
+            invocations=20,
+            threads=4,
+            seed=9,
+            execute=False,
+        )
+        report = replay_spec(spec)
+        assert "re-optimizations" in render_report(report)
+        assert report.stats.cache["invalidations"] >= 1
