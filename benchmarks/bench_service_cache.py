@@ -7,9 +7,16 @@ replays a >=100-invocation mixed workload through the query service
 and asserts the acceptance bar: a cache-hit invocation is at least 5x
 cheaper in wall-clock time than optimizing the query from scratch.
 
+It also gates the observability layer's hot-path cost: with tracing
+disabled, a metrics-instrumented service must stay within 5% of the
+uninstrumented service on the cached-invocation path (min-of-repeats
+wall-clock, so scheduler noise does not decide the verdict).
+
 ``REPRO_BENCH_N`` scales the invocation count (floor 100 here — below
 that the hit-rate and percentile numbers are too noisy to gate on).
 """
+
+import time
 
 from conftest import bench_invocations, write_and_print
 
@@ -96,4 +103,71 @@ def test_service_cache_amortization(benchmark, results_dir):
     assert report.speedup > MIN_SPEEDUP, (
         "end-to-end replay speedup %.1fx below the %.0fx bar"
         % (report.speedup, MIN_SPEEDUP)
+    )
+
+
+#: Observability must cost at most this fraction when tracing is off.
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def test_tracing_disabled_overhead(results_dir):
+    """Metrics wired, tracer off: cached path within 5% of baseline.
+
+    The two services are timed in strictly alternating batches and
+    compared min-to-min, so slow drift (CPU frequency, background
+    load) hits both sides equally instead of deciding the verdict.
+    """
+    from repro.observability import MetricsRegistry
+    from repro.service import QueryService
+    from repro.storage import Database
+    from repro.workloads import paper_workload
+    from repro.workloads.service import service_request_bindings
+
+    workload = paper_workload(2, seed=0)
+    all_bindings = [
+        service_request_bindings(workload, seed=0, run_index=index)
+        for index in range(200)
+    ]
+
+    def make_service(metrics):
+        service = QueryService(
+            Database(workload.catalog),
+            execute=False,
+            max_workers=1,
+            metrics=metrics,
+        )
+        service.run(workload.query, all_bindings[0])  # compile once
+        return service
+
+    def batch_seconds(service):
+        started = time.perf_counter()
+        for bindings in all_bindings:
+            service.run(workload.query, bindings)
+        return time.perf_counter() - started
+
+    plain = make_service(None)
+    instrumented_service = make_service(MetricsRegistry())
+    with plain, instrumented_service:
+        # Warm both sides, then alternate measured batches.
+        batch_seconds(plain)
+        batch_seconds(instrumented_service)
+        baseline = float("inf")
+        instrumented = float("inf")
+        for _ in range(15):
+            baseline = min(baseline, batch_seconds(plain))
+            instrumented = min(
+                instrumented, batch_seconds(instrumented_service)
+            )
+
+    overhead = instrumented / baseline - 1.0
+    write_and_print(
+        results_dir,
+        "observability_overhead",
+        "tracing-disabled overhead: baseline %.6fs, instrumented %.6fs "
+        "(%+.2f%%)" % (baseline, instrumented, overhead * 100.0),
+    )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        "tracing-disabled observability adds %.1f%% to the cached "
+        "invocation path (bar: %.0f%%)"
+        % (overhead * 100.0, MAX_DISABLED_OVERHEAD * 100.0)
     )

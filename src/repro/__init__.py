@@ -70,6 +70,9 @@ from repro.optimizer import (
     optimize_static,
     signature_digest,
 )
+from repro.observability import MetricsRegistry, Tracer
+from repro.observability.accuracy import cost_model_accuracy
+from repro.observability.explain import explain_analyze
 from repro.service import (
     PlanCache,
     QueryService,
@@ -110,6 +113,7 @@ __all__ = [
     "Join",
     "JoinPredicate",
     "Literal",
+    "MetricsRegistry",
     "OptimizerConfig",
     "OptimizerMode",
     "ParameterSpace",
@@ -124,14 +128,17 @@ __all__ = [
     "ServiceRequest",
     "ShrinkingAccessModule",
     "StaticPlanScenario",
+    "Tracer",
     "UserVariable",
     "Valuation",
     "activate_plan",
     "binding_series",
     "build_synthetic_catalog",
     "canonical_signature",
+    "cost_model_accuracy",
     "default_relation_specs",
     "execute_plan",
+    "explain_analyze",
     "make_join_workload",
     "optimize_dynamic",
     "optimize_exhaustive",

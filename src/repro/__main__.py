@@ -11,7 +11,12 @@ Commands:
 * ``serve-batch [spec]``   — replay a service workload through the
   plan-cache query service and report hit rate, start-up latency
   percentiles, and speedup over optimize-per-query (``--help`` for
-  flags).
+  flags);
+* ``explain [sql]``        — print a query's optimized plan; with
+  ``--analyze``, execute it and annotate every operator with
+  estimated vs actual cardinality and cost plus a q-error summary;
+* ``accuracy``             — replay the paper queries traced and
+  report per-operator cost-model q-error distributions.
 """
 
 import sys
@@ -148,6 +153,143 @@ def _serve_batch(argv):
     return 0
 
 
+def _explain(argv):
+    import argparse
+
+    from repro.observability.explain import explain_analyze
+    from repro.workloads.queries import Workload
+    from repro.workloads.bindings import random_bindings
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description=(
+            "Print a query's optimized plan; with --analyze, execute "
+            "it under the tracer and annotate each operator with "
+            "estimated vs actual cardinality and cost."
+        ),
+    )
+    parser.add_argument(
+        "sql", nargs="?", default=None,
+        help="SQL text parsed against the selected paper query's "
+        "catalog; omit to explain the paper query itself",
+    )
+    parser.add_argument(
+        "--query", type=int, default=2, choices=(1, 2, 3, 4, 5),
+        help="paper query number supplying the catalog and query "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plan and report actual rows, cost, and "
+        "q-error per operator",
+    )
+    parser.add_argument(
+        "--static", action="store_true",
+        help="explain the static expected-value plan instead of the "
+        "dynamic plan",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for data population and bindings (default 0)",
+    )
+    parser.add_argument(
+        "--wall", action="store_true",
+        help="include wall-clock per-operator timings "
+        "(non-deterministic; excluded by default)",
+    )
+    args = parser.parse_args(argv)
+
+    workload = paper_workload(args.query, seed=args.seed)
+    if args.sql is not None:
+        query = parse_query(args.sql, workload.catalog, name="cli-query")
+        workload = Workload(
+            workload.catalog, query, workload.specs, args.seed
+        )
+    optimize = optimize_static if args.static else optimize_dynamic
+    result = optimize(workload.catalog, workload.query)
+
+    if not args.analyze:
+        print("plan (%s):" % ("static" if args.static else "dynamic"))
+        print(plan_to_text(result.plan))
+        return 0
+
+    database = Database(workload.catalog)
+    populate_database(database, seed=args.seed)
+    bindings = random_bindings(workload, seed=args.seed)
+    executed = explain_analyze(
+        result.plan,
+        database,
+        bindings,
+        workload.query.parameter_space,
+    )
+    print(
+        "EXPLAIN ANALYZE %s (%s plan, seed %d)"
+        % (workload.name, "static" if args.static else "dynamic",
+           args.seed)
+    )
+    print(executed.profile.render(show_wall=args.wall))
+    return 0
+
+
+def _accuracy(argv):
+    import argparse
+
+    from repro.observability.accuracy import cost_model_accuracy
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro accuracy",
+        description=(
+            "Replay the paper queries under the tracer and report "
+            "per-operator cost-model q-error distributions."
+        ),
+    )
+    parser.add_argument(
+        "--queries", default="1,2,3,4,5",
+        help="comma-separated paper query numbers (default all five)",
+    )
+    parser.add_argument(
+        "--invocations", type=int, default=5,
+        help="binding sets replayed per query (default 5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for data population and bindings (default 0)",
+    )
+    parser.add_argument(
+        "--static", action="store_true",
+        help="profile the static expected-value plans instead of the "
+        "dynamic plans",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the table",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        numbers = tuple(
+            int(part) for part in args.queries.split(",") if part.strip()
+        )
+    except ValueError:
+        print("accuracy: --queries must be comma-separated integers")
+        return 2
+    if not numbers or any(n not in (1, 2, 3, 4, 5) for n in numbers):
+        print("accuracy: query numbers must be between 1 and 5")
+        return 2
+
+    report = cost_model_accuracy(
+        query_numbers=numbers,
+        invocations=args.invocations,
+        seed=args.seed,
+        mode="static" if args.static else "dynamic",
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
 def _experiments(argv):
     from repro.experiments.runner import main as run_experiments
 
@@ -182,6 +324,10 @@ def main(argv=None):
         return _sql(argv[1:])
     if command == "serve-batch":
         return _serve_batch(argv[1:])
+    if command == "explain":
+        return _explain(argv[1:])
+    if command == "accuracy":
+        return _accuracy(argv[1:])
     print(__doc__)
     return 2
 

@@ -454,7 +454,9 @@ class CostModel:
             if card <= 1:
                 return CPU_COST_WEIGHT
             pages = pages_for_records(card)
-            cpu = card * math.log(card, 2) * CPU_COST_WEIGHT
+            # Floored at the card <= 1 constant: n*log2(n) dips below 1
+            # for n < ~1.56, and _corners requires monotonicity in card.
+            cpu = max(card * math.log(card, 2), 1.0) * CPU_COST_WEIGHT
             if pages <= memory_pages:
                 return cpu
             # External merge sort: one partition pass plus merge passes.

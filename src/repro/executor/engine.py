@@ -23,12 +23,15 @@ class ExecutionContext:
     """Everything iterators need: data, bindings, and a cost model."""
 
     def __init__(self, database, bindings=None, parameter_space=None,
-                 use_buffer_pool=False):
+                 use_buffer_pool=False, tracer=None):
         self.database = database
         self.bindings = bindings if bindings is not None else Bindings()
         self.parameter_space = (
             parameter_space if parameter_space is not None else ParameterSpace()
         )
+        #: Optional :class:`~repro.observability.trace.Tracer`; iterators
+        #: record per-operator spans when one is attached.
+        self.tracer = tracer
         self._cost_model = None
         #: choose-plan decisions made during this execution:
         #: list of (choose_plan_node, chosen_alternative)
@@ -71,11 +74,18 @@ class ExecutionContext:
 class ExecutionResult:
     """Records produced plus the accounting of the run."""
 
-    def __init__(self, records, io_snapshot, decisions, elapsed_seconds):
+    def __init__(self, records, io_snapshot, decisions, elapsed_seconds,
+                 trace=None, profile=None):
         self.records = records
         self.io_snapshot = io_snapshot
         self.decisions = decisions
         self.elapsed_seconds = elapsed_seconds
+        #: :class:`~repro.observability.trace.ExecutionTrace` of the
+        #: run, or ``None`` when executed without a tracer.
+        self.trace = trace
+        #: :class:`~repro.observability.explain.ExecutionProfile` with
+        #: per-operator estimated-vs-actual figures, or ``None``.
+        self.profile = profile
 
     @property
     def row_count(self):
@@ -97,7 +107,7 @@ class ExecutionResult:
 
 
 def execute_plan(plan, database, bindings=None, parameter_space=None,
-                 use_buffer_pool=False):
+                 use_buffer_pool=False, tracer=None):
     """Run a physical plan to completion and return the result.
 
     Unbound user variables in predicates raise
@@ -105,11 +115,18 @@ def execute_plan(plan, database, bindings=None, parameter_space=None,
     ``bindings``.  With ``use_buffer_pool=True`` heap-page accesses go
     through an LRU pool sized by the memory grant, so repeated fetches
     of hot pages cost no I/O (the [MaL89] refinement).
+
+    With a :class:`~repro.observability.trace.Tracer` every operator
+    records a span and the result carries a ``trace`` and a per-operator
+    estimated-vs-actual ``profile``; tracing never changes the records
+    produced or the simulated I/O charged (the differential tests'
+    invariant).
     """
     if plan is None:
         raise ExecutionError("cannot execute an empty plan")
     context = ExecutionContext(database, bindings, parameter_space,
-                               use_buffer_pool=use_buffer_pool)
+                               use_buffer_pool=use_buffer_pool,
+                               tracer=tracer)
     before = context.io_stats.snapshot()
     started = time.perf_counter()
     iterator = build_iterator(plan, context)
@@ -117,4 +134,10 @@ def execute_plan(plan, database, bindings=None, parameter_space=None,
     elapsed = time.perf_counter() - started
     after = context.io_stats.snapshot()
     delta = {key: after[key] - before[key] for key in after}
-    return ExecutionResult(records, delta, list(context.decisions), elapsed)
+    result = ExecutionResult(records, delta, list(context.decisions), elapsed)
+    if tracer is not None:
+        from repro.observability.explain import build_profile
+
+        result.trace = tracer.trace()
+        result.profile = build_profile(result.trace, context.cost_model)
+    return result

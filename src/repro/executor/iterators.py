@@ -60,9 +60,18 @@ class PlanIterator:
         self._stream = None
 
     def open(self):
-        """Prepare the iterator; idempotent."""
+        """Prepare the iterator; idempotent.
+
+        With a tracer attached to the context the record stream is
+        wrapped in a counting span; without one (the default) this is
+        a single ``is None`` test and the per-record path is untouched.
+        """
         if self._stream is None:
-            self._stream = self._produce()
+            tracer = self.context.tracer
+            if tracer is None:
+                self._stream = self._produce()
+            else:
+                self._stream = tracer.instrument(self)
         return self
 
     def __iter__(self):

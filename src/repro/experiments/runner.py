@@ -1,10 +1,13 @@
 """One-shot runner for the complete reproduced evaluation.
 
-``python -m repro.experiments.runner [N] [--csv DIR]`` optimizes the
-five paper queries in all three scenarios (with and without memory
-uncertainty), regenerates Figures 3-8 and Table 1, prints the report,
-and optionally writes one CSV per figure into DIR (for external
-plotting tools).
+``python -m repro.experiments.runner [N] [--csv DIR] [--accuracy]``
+optimizes the five paper queries in all three scenarios (with and
+without memory uncertainty), regenerates Figures 3-8 and Table 1,
+prints the report, and optionally writes one CSV per figure into DIR
+(for external plotting tools).  ``--accuracy`` appends the
+cost-model accuracy report (per-operator q-error distributions from a
+traced replay of the five queries; see
+:mod:`repro.observability.accuracy`).
 """
 
 import os
@@ -55,7 +58,7 @@ def write_csvs(figures, directory):
 
 
 def main(argv=None):
-    """CLI entry point: ``[N] [--csv DIR]``."""
+    """CLI entry point: ``[N] [--csv DIR] [--accuracy]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     csv_directory = None
     if "--csv" in argv:
@@ -66,10 +69,19 @@ def main(argv=None):
             print("--csv requires a directory argument")
             return 2
         del argv[position:position + 2]
+    with_accuracy = "--accuracy" in argv
+    if with_accuracy:
+        argv.remove("--accuracy")
     invocations = int(argv[0]) if argv else 100
     settings = ExperimentSettings(invocations=invocations)
     figures, table1, settings = run_all_experiments(settings)
     print(render_report(figures, table1, settings))
+    if with_accuracy:
+        from repro.observability.accuracy import cost_model_accuracy
+
+        report = cost_model_accuracy(seed=settings.seed)
+        print()
+        print(report.render())
     if csv_directory is not None:
         for path in write_csvs(figures, csv_directory):
             print("wrote %s" % path)

@@ -206,15 +206,66 @@ def _covered_bounds(parameter_space):
 
 
 class PlanCache:
-    """Thread-safe LRU map from canonical query signature to entry."""
+    """Thread-safe LRU map from canonical query signature to entry.
 
-    def __init__(self, capacity=64):
+    With a :class:`~repro.observability.metrics.MetricsRegistry` the
+    cache exposes its counters as pull-style ``plan_cache_*`` metrics
+    (lookups, hits, misses, evictions, invalidations, entries): the
+    registry reads :class:`CacheStatistics` — already exact under the
+    cache lock — at scrape time, so the lookup hot path pays nothing.
+    ``metrics=None`` (the default) skips registration entirely.
+    """
+
+    def __init__(self, capacity=64, metrics=None):
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = int(capacity)
         self.stats = CacheStatistics()
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+        if metrics is not None:
+            self._register_metrics(metrics)
+
+    def _register_metrics(self, metrics):
+        """Mirror the cache counters into pull-style instruments."""
+
+        def stat(field):
+            def read():
+                with self._lock:
+                    return getattr(self.stats, field)
+
+            return read
+
+        metrics.counter(
+            "plan_cache_lookups_total",
+            "Plan-cache lookups",
+            callback=stat("lookups"),
+        )
+        metrics.counter(
+            "plan_cache_hits_total",
+            "Lookups that found a compiled plan",
+            callback=stat("hits"),
+        )
+        metrics.counter(
+            "plan_cache_misses_total",
+            "Lookups without a compiled plan",
+            callback=stat("misses"),
+        )
+        metrics.counter(
+            "plan_cache_evictions_total",
+            "LRU evictions",
+            callback=stat("evictions"),
+        )
+        metrics.counter(
+            "plan_cache_invalidations_total",
+            "Explicit invalidations plus staleness re-optimizations",
+            callback=stat("invalidations"),
+        )
+        metrics.gauge(
+            "plan_cache_entries",
+            "Entries currently cached",
+            callback=self.__len__,
+        )
 
     def entry_for(self, query):
         """Look up (or create) the entry for a query.

@@ -298,7 +298,8 @@ class CompiledDecision:
                     local = CPU_COST_WEIGHT
                 else:
                     pages = pages_for_records(card)
-                    local = card * math.log(card, 2) * CPU_COST_WEIGHT
+                    # Mirrors CostModel._sort exactly, floor included.
+                    local = max(card * math.log(card, 2), 1.0) * CPU_COST_WEIGHT
                     if pages > memory:
                         run_count = pages / max(memory, 2.0)
                         merge_passes = max(

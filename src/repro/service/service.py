@@ -206,6 +206,17 @@ class QueryService:
         Plans the compiler cannot handle fall back to the interpreted
         :func:`~repro.executor.startup.resolve_dynamic_plan` path,
         which makes identical decisions, just slower.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`.
+        When given, the service records request/re-optimization
+        counters, start-up and optimization latency histograms, and an
+        in-flight gauge, and the plan cache mirrors its hit/miss
+        counters into the same registry.  ``None`` (the default) keeps
+        the hot path free of instrument updates.
+    tracer:
+        Optional :class:`~repro.observability.trace.Tracer` forwarded
+        to plan execution, recording per-operator spans.  ``None``
+        costs one ``is None`` test per iterator open.
     """
 
     def __init__(
@@ -218,6 +229,8 @@ class QueryService:
         branch_and_bound=False,
         validate=False,
         compiled=True,
+        metrics=None,
+        tracer=None,
     ):
         if optimize is None:
             from repro.optimizer.optimizer import optimize_dynamic
@@ -225,11 +238,13 @@ class QueryService:
             optimize = optimize_dynamic
         self.database = database
         self.catalog = database.catalog
-        self.cache = PlanCache(capacity)
+        self.cache = PlanCache(capacity, metrics=metrics)
         self.default_execute = bool(execute)
         self.branch_and_bound = bool(branch_and_bound)
         self.validate = bool(validate)
         self.compiled = bool(compiled)
+        self.metrics = metrics
+        self.tracer = tracer
         self._optimize = optimize
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -239,6 +254,43 @@ class QueryService:
         self._startup_seconds = []
         self._optimize_seconds = []
         self._requests = 0
+        #: One token per in-flight request; list append/pop are atomic
+        #: under the GIL, so ``len`` is an exact lock-free gauge.
+        self._inflight_tokens = []
+        if metrics is not None:
+            metrics.counter(
+                "service_requests_total",
+                "Invocations served",
+                callback=self._request_count,
+            )
+            self._m_reoptimizations = metrics.counter(
+                "service_reoptimizations_total",
+                "Staleness-driven in-place re-optimizations",
+            )
+            self._m_rows = metrics.counter(
+                "service_execution_rows_total", "Result rows produced"
+            )
+            self._m_startup = metrics.histogram(
+                "service_startup_seconds",
+                "Start-up decision latency per invocation",
+            )
+            self._m_optimize = metrics.histogram(
+                "service_optimize_seconds",
+                "Plan compilation latency (misses and re-optimizations)",
+            )
+            metrics.gauge(
+                "service_inflight_requests",
+                "Invocations currently running",
+                callback=self._inflight_tokens.__len__,
+            )
+        else:
+            self._m_reoptimizations = self._m_rows = None
+            self._m_startup = self._m_optimize = None
+
+    def _request_count(self):
+        """Exact served-request total (pull-style metric callback)."""
+        with self._stats_lock:
+            return self._requests
 
     # ------------------------------------------------------------------
     # Serving
@@ -246,6 +298,13 @@ class QueryService:
 
     def run(self, query, bindings, execute=None, tag=None):
         """Serve one invocation synchronously on the calling thread."""
+        self._inflight_tokens.append(None)
+        try:
+            return self._run(query, bindings, execute, tag)
+        finally:
+            self._inflight_tokens.pop()
+
+    def _run(self, query, bindings, execute, tag):
         started = time.perf_counter()
         entry, cache_hit = self.cache.entry_for(query)
         optimize_seconds = 0.0
@@ -288,7 +347,11 @@ class QueryService:
         if do_execute:
             with self._db_lock:
                 execution = execute_plan(
-                    chosen, self.database, bindings, parameter_space
+                    chosen,
+                    self.database,
+                    bindings,
+                    parameter_space,
+                    tracer=self.tracer,
                 )
 
         total_seconds = time.perf_counter() - started
@@ -297,6 +360,14 @@ class QueryService:
             self._startup_seconds.append(startup_seconds)
             if optimize_seconds > 0.0:
                 self._optimize_seconds.append(optimize_seconds)
+        if self.metrics is not None:
+            self._m_startup.observe(startup_seconds)
+            if optimize_seconds > 0.0:
+                self._m_optimize.observe(optimize_seconds)
+            if reoptimized:
+                self._m_reoptimizations.inc()
+            if execution is not None:
+                self._m_rows.inc(execution.row_count)
         return ServiceResult(
             entry.digest,
             cache_hit and not reoptimized,

@@ -5,11 +5,57 @@ and databases are treated as immutable by the tests (executions only
 mutate I/O counters, which tests snapshot-delta).
 """
 
+import os
+
 import pytest
 
 from repro.catalog import populate_database
 from repro.storage import Database
 from repro.workloads import make_join_workload, paper_workload
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.txt from current output instead "
+        "of asserting against it",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare text against a golden file (or rewrite it).
+
+    Usage: ``golden("explain_q2.txt", rendered_text)``.  With
+    ``--update-goldens`` the file is rewritten and the test passes;
+    otherwise the text must match the stored golden byte for byte.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name, text):
+        path = os.path.join(GOLDEN_DIR, name)
+        if update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            return
+        if not os.path.exists(path):
+            raise AssertionError(
+                "golden file %s missing; run pytest --update-goldens"
+                % name
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert text == expected, (
+            "output differs from goldens/%s; if the change is "
+            "intentional, run pytest --update-goldens" % name
+        )
+
+    return check
 
 
 @pytest.fixture(scope="session")

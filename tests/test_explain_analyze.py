@@ -1,0 +1,185 @@
+"""EXPLAIN ANALYZE: q-error arithmetic, profiles, CLI golden files.
+
+The rendered ``explain --analyze`` output is deterministic by
+construction — every annotated quantity (estimated and actual
+cardinality, simulated cost, page counts) derives from seeded data and
+the simulated I/O model, never from wall clocks — so the CLI output is
+pinned with golden files.  Regenerate intentionally changed goldens
+with ``pytest --update-goldens``.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.catalog import populate_database
+from repro.observability import Tracer, q_error
+from repro.observability.accuracy import cost_model_accuracy
+from repro.observability.explain import explain_analyze
+from repro.executor.engine import execute_plan
+from repro.optimizer.optimizer import optimize_dynamic
+from repro.storage import Database
+from repro.workloads import random_bindings
+
+
+class TestQError:
+    def test_exact_estimate_is_one(self):
+        assert q_error(42.0, 42.0) == 1.0
+
+    def test_symmetric_over_and_under(self):
+        assert q_error(10.0, 100.0) == pytest.approx(10.0)
+        assert q_error(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_floor_guards_zero_actuals(self):
+        # An empty result with a tiny estimate is a perfect prediction,
+        # not a divide-by-zero.
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(0.5, 0.0) == 1.0
+        assert q_error(8.0, 0.0) == pytest.approx(8.0)
+
+    def test_custom_floor(self):
+        assert q_error(0.2, 0.0, floor=0.1) == pytest.approx(2.0)
+
+    def test_never_below_one(self):
+        for estimate, actual in ((3.0, 4.0), (4.0, 3.0), (0.0, 1.0)):
+            assert q_error(estimate, actual) >= 1.0
+
+
+class TestProfile:
+    def test_hand_built_plan_q_errors(self, workload1):
+        """Profile q-errors equal the hand-computed est/act ratios."""
+        plan = optimize_dynamic(workload1.catalog, workload1.query).plan
+        database = Database(workload1.catalog)
+        populate_database(database, seed=0)
+        bindings = random_bindings(workload1, seed=4)
+        result = execute_plan(
+            plan,
+            database,
+            bindings,
+            workload1.query.parameter_space,
+            tracer=Tracer(),
+        )
+        profile = result.profile
+        assert profile.operators
+        for operator in profile.operators:
+            if operator.estimated_rows is None:
+                continue
+            expected = q_error(
+                operator.estimated_rows.midpoint, float(operator.actual_rows)
+            )
+            assert operator.cardinality_q_error == pytest.approx(expected)
+        # The summary aggregates exactly the per-operator errors.
+        errors = profile.cardinality_q_errors()
+        assert profile.max_q_error() == pytest.approx(max(errors))
+        assert profile.mean_q_error() == pytest.approx(
+            sum(errors) / len(errors)
+        )
+
+    def test_root_actual_rows_match_result(self, workload2, database2):
+        plan = optimize_dynamic(workload2.catalog, workload2.query).plan
+        bindings = random_bindings(workload2, seed=1)
+        result = explain_analyze(
+            plan, database2, bindings, workload2.query.parameter_space
+        )
+        root = result.profile.operators[0]
+        assert root.depth == 0
+        assert root.actual_rows == result.row_count
+
+    def test_render_mentions_every_operator(self, workload2, database2):
+        plan = optimize_dynamic(workload2.catalog, workload2.query).plan
+        bindings = random_bindings(workload2, seed=1)
+        result = explain_analyze(
+            plan, database2, bindings, workload2.query.parameter_space
+        )
+        text = result.profile.render()
+        for operator in result.profile.operators:
+            assert operator.span.operator in text
+        assert "q-error" in text
+
+
+class TestExplainCli:
+    @pytest.mark.parametrize("number", [1, 2, 3])
+    def test_analyze_golden(self, capsys, golden, number):
+        assert (
+            main(
+                [
+                    "explain",
+                    "--analyze",
+                    "--query",
+                    str(number),
+                    "--seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        golden("explain_q%d.txt" % number, capsys.readouterr().out)
+
+    def test_analyze_static_golden(self, capsys, golden):
+        assert (
+            main(["explain", "--analyze", "--query", "2", "--static"]) == 0
+        )
+        golden("explain_q2_static.txt", capsys.readouterr().out)
+
+    def test_plain_explain_prints_plan(self, capsys):
+        assert main(["explain", "--query", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan (dynamic):" in out
+        assert "Choose-Plan" in out
+
+    def test_explain_sql_argument(self, capsys):
+        assert (
+            main(
+                [
+                    "explain",
+                    "--analyze",
+                    "SELECT * FROM R1 WHERE R1.a < :v_R1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "q-error" in out
+
+
+class TestAccuracyReport:
+    def test_structure_and_determinism(self):
+        report = cost_model_accuracy(
+            query_numbers=(1, 2), invocations=2, seed=0
+        )
+        again = cost_model_accuracy(
+            query_numbers=(1, 2), invocations=2, seed=0
+        )
+        assert report.render() == again.render()
+        overall = report.overall()
+        assert overall.count > 0
+        assert overall.max >= overall.p90 >= overall.p50 >= 1.0
+        by_query = report.by_query()
+        assert set(by_query) == {"query1", "query2"}
+        by_operator = report.by_operator()
+        assert "File-Scan" in by_operator
+
+    def test_accuracy_cli_json(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "accuracy",
+                    "--queries",
+                    "1",
+                    "--invocations",
+                    "1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert "overall" in data
+        assert data["overall"]["count"] > 0
+
+    def test_accuracy_cli_rejects_bad_queries(self, capsys):
+        assert main(["accuracy", "--queries", "9"]) == 2
+        assert main(["accuracy", "--queries", "x"]) == 2
+        capsys.readouterr()

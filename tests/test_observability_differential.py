@@ -1,0 +1,113 @@
+"""Differential tests: tracing must never change what a query does.
+
+The tracer wraps every iterator and snapshots the shared I/O counters
+around each record, so the highest-risk bug in the observability layer
+is an *observer effect* — tracing perturbing results, decision
+outcomes, or the simulated I/O accounting.  These tests execute every
+paper query twice, traced and untraced, from identically populated
+databases, and require byte-identical result rows and identical
+``IOStatistics`` totals, for both static and dynamic plans.
+
+They double as accounting tests for the trace itself: per-operator
+page counts must sum to the run's totals, and the root span's row
+count must equal the result's row count.
+"""
+
+import pytest
+
+from repro.catalog import populate_database
+from repro.executor.engine import execute_plan
+from repro.observability import Tracer
+from repro.optimizer.optimizer import optimize_dynamic, optimize_static
+from repro.storage.database import Database
+from repro.workloads import binding_series, paper_workload
+
+PAPER_QUERIES = (1, 2, 3, 4, 5)
+PLAN_KINDS = ("static", "dynamic")
+
+
+def _optimize(workload, kind):
+    if kind == "static":
+        return optimize_static(workload.catalog, workload.query).plan
+    return optimize_dynamic(workload.catalog, workload.query).plan
+
+
+def _run(workload, plan, bindings, tracer):
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    return execute_plan(
+        plan,
+        database,
+        bindings,
+        workload.query.parameter_space,
+        tracer=tracer,
+    )
+
+
+@pytest.mark.parametrize("kind", PLAN_KINDS)
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_tracing_preserves_results_and_io(number, kind):
+    workload = paper_workload(number)
+    plan = _optimize(workload, kind)
+    for bindings in binding_series(workload, count=2, seed=5):
+        untraced = _run(workload, plan, bindings, tracer=None)
+        traced = _run(workload, plan, bindings, tracer=Tracer())
+
+        assert traced.records == untraced.records
+        assert traced.io_snapshot == untraced.io_snapshot
+        assert traced.decisions == untraced.decisions
+
+        assert untraced.trace is None and untraced.profile is None
+        assert traced.trace is not None and traced.profile is not None
+
+
+@pytest.mark.parametrize("kind", PLAN_KINDS)
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_trace_accounting_matches_run(number, kind):
+    workload = paper_workload(number)
+    plan = _optimize(workload, kind)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    result = _run(workload, plan, bindings, tracer=Tracer())
+
+    trace = result.trace
+    assert len(trace.roots) == 1
+    root = trace.roots[0]
+
+    # The root operator's rows are the query's result rows.
+    assert root.rows == result.row_count
+
+    # Inclusive root accounting covers the whole run's simulated I/O.
+    assert root.pages_read == result.io_snapshot["pages_read"]
+    assert root.pages_written == result.io_snapshot["pages_written"]
+    assert (
+        root.records_processed == result.io_snapshot["records_processed"]
+    )
+
+    # Exclusive spans partition the inclusive root totals.
+    spans = [span for span, _ in trace.walk()]
+    exclusive_pages = sum(
+        trace.exclusive(span)["pages_read"]
+        + trace.exclusive(span)["pages_written"]
+        for span in spans
+    )
+    assert exclusive_pages == root.pages_read + root.pages_written
+
+    # Every span belongs to the tree rooted at the result plan.
+    for span in spans:
+        assert span.rows >= 0
+        assert span.wall_seconds >= 0.0
+
+
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_traced_dynamic_profile_has_estimates(number):
+    """The EXPLAIN ANALYZE profile annotates operators with q-errors."""
+    workload = paper_workload(number)
+    plan = _optimize(workload, "dynamic")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    result = _run(workload, plan, bindings, tracer=Tracer())
+
+    profile = result.profile
+    assert profile.operators
+    q_errors = profile.cardinality_q_errors()
+    assert q_errors
+    assert all(q >= 1.0 for q in q_errors)

@@ -1,0 +1,212 @@
+"""The metrics registry: instruments, exposition, thread safety.
+
+The registry promises *exact* counters under concurrency — every
+``inc``/``observe`` holds the instrument's lock, so parallel updates
+can never be lost the way unlocked ``+=`` read-modify-write races lose
+them.  The hammer tests drive instruments and a full
+:class:`~repro.service.service.QueryService` from eight threads and
+require per-thread deltas to sum exactly to the registry totals.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.service import QueryService, ServiceRequest
+from repro.storage import Database
+from repro.workloads import paper_workload
+from repro.workloads.service import service_request_bindings
+
+THREADS = 8
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("inflight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1.0
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(55.55)
+        # Cumulative: each bucket counts everything at or below it.
+        assert snapshot["buckets"] == {
+            "0.1": 1,
+            "1": 2,
+            "10": 3,
+            "+Inf": 4,
+        }
+
+    def test_histogram_mean(self):
+        histogram = Histogram("latency", buckets=(1.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == pytest.approx(3.0)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("0starts_with_digit")
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help text")
+        second = registry.counter("requests_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_json_roundtrips(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(3)
+        registry.gauge("b").set(-1.5)
+        registry.histogram("c_seconds", buckets=(1.0,)).observe(0.5)
+        data = json.loads(registry.to_json())
+        assert data["a_total"]["value"] == 3.0
+        assert data["b"]["value"] == -1.5
+        assert data["c_seconds"]["count"] == 1
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things").inc(2)
+        registry.gauge("b", "level").set(4)
+        registry.histogram("c_seconds", "lat", buckets=(0.5, 1.0)).observe(
+            0.75
+        )
+        text = registry.to_prometheus()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 2" in text
+        assert "# TYPE b gauge" in text
+        assert "# TYPE c_seconds histogram" in text
+        assert 'c_seconds_bucket{le="0.5"} 0' in text
+        assert 'c_seconds_bucket{le="1"} 1' in text
+        assert 'c_seconds_bucket{le="+Inf"} 1' in text
+        assert "c_seconds_sum 0.75" in text
+        assert "c_seconds_count 1" in text
+        # Exposition format requires a trailing newline.
+        assert text.endswith("\n")
+
+
+class TestConcurrency:
+    def test_parallel_instrument_updates_are_exact(self):
+        """No lost updates: 8 threads x 5000 increments lands exactly."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        gauge = registry.gauge("level")
+        histogram = registry.histogram("obs", buckets=(0.5,))
+        increments = 5000
+        barrier = threading.Barrier(THREADS)
+
+        def worker():
+            barrier.wait()
+            for _ in range(increments):
+                counter.inc()
+                gauge.inc()
+                histogram.observe(1.0)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        expected = THREADS * increments
+        assert counter.value == expected
+        assert gauge.value == expected
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == expected
+        assert snapshot["sum"] == expected
+
+    @pytest.mark.slow
+    def test_service_load_deltas_sum_to_totals(self):
+        """8-thread service load: per-thread deltas equal the registry.
+
+        Each pool thread serves its own slice of requests and tallies
+        what it saw (requests served, rows returned); the registry's
+        counters must equal the tallies exactly — the concurrency
+        contract of the metrics layer under real contention.
+        """
+        workload = paper_workload(2, seed=0)
+        registry = MetricsRegistry()
+        service = QueryService(
+            Database(workload.catalog),
+            execute=False,
+            max_workers=THREADS,
+            metrics=registry,
+        )
+        per_query = 12
+        with service:
+            results = service.run_batch(
+                ServiceRequest(
+                    workload.query,
+                    service_request_bindings(
+                        workload, seed=3, run_index=index
+                    ),
+                )
+                for index in range(THREADS * per_query)
+            )
+
+        total = THREADS * per_query
+        snapshot = registry.snapshot()
+        assert snapshot["service_requests_total"]["value"] == total
+        assert snapshot["plan_cache_lookups_total"]["value"] == total
+        assert (
+            snapshot["plan_cache_hits_total"]["value"]
+            + snapshot["plan_cache_misses_total"]["value"]
+            == total
+        )
+        assert snapshot["service_startup_seconds"]["count"] == total
+        assert snapshot["service_inflight_requests"]["value"] == 0
+
+        # The registry agrees with the service's own accounting.
+        stats = service.stats()
+        assert stats.requests == total
+        cache = service.cache.stats.snapshot()
+        assert snapshot["plan_cache_hits_total"]["value"] == cache["hits"]
+        assert (
+            snapshot["plan_cache_misses_total"]["value"] == cache["misses"]
+        )
+        reopt = sum(1 for result in results if result.reoptimized)
+        assert (
+            snapshot["service_reoptimizations_total"]["value"] == reopt
+        )

@@ -251,6 +251,7 @@ class TestQueryService:
             for bindings in all_bindings
         ]
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("compiled", [True, False])
     def test_concurrent_startup_matches_single_threaded(self, compiled):
         workload = paper_workload(2, seed=0)
@@ -352,6 +353,7 @@ class TestReplayDeterminism:
             assert left._parameters == right._parameters
             assert left._variables == right._variables
 
+    @pytest.mark.slow
     def test_replay_decisions_survive_thread_scheduling(self):
         spec = ServiceWorkloadSpec.default(
             invocations=24, threads=8, seed=4, execute=False
