@@ -18,7 +18,7 @@ that the hit-rate and percentile numbers are too noisy to gate on).
 
 import time
 
-from conftest import bench_invocations, write_and_print
+from conftest import bench_invocations, write_and_print, write_json_results
 
 from repro.service import render_report, replay_spec
 from repro.workloads.service import ServiceQuerySpec, ServiceWorkloadSpec
@@ -93,6 +93,36 @@ def test_service_cache_amortization(benchmark, results_dir):
     baseline_mean = sum(
         report.baseline_means[result.tag] for result in hits
     ) / len(hits)
+    write_json_results(
+        results_dir,
+        "service_cache",
+        [
+            {
+                "name": "service_cache",
+                "metric": "hit_rate",
+                "value": report.hit_rate,
+                "unit": "fraction",
+            },
+            {
+                "name": "service_cache",
+                "metric": "cache_hit_invocation_mean",
+                "value": hit_mean,
+                "unit": "s",
+            },
+            {
+                "name": "service_cache",
+                "metric": "optimize_baseline_mean",
+                "value": baseline_mean,
+                "unit": "s",
+            },
+            {
+                "name": "service_cache",
+                "metric": "replay_speedup",
+                "value": report.speedup,
+                "unit": "x",
+            },
+        ],
+    )
     assert baseline_mean > MIN_SPEEDUP * hit_mean, (
         "cache-hit invocations only %.1fx cheaper than optimize-per-query"
         % (baseline_mean / hit_mean)
@@ -165,6 +195,18 @@ def test_tracing_disabled_overhead(results_dir):
         "observability_overhead",
         "tracing-disabled overhead: baseline %.6fs, instrumented %.6fs "
         "(%+.2f%%)" % (baseline, instrumented, overhead * 100.0),
+    )
+    write_json_results(
+        results_dir,
+        "observability_overhead",
+        [
+            {
+                "name": "observability_overhead",
+                "metric": "tracing_disabled_overhead",
+                "value": overhead,
+                "unit": "fraction",
+            },
+        ],
     )
     assert overhead < MAX_DISABLED_OVERHEAD, (
         "tracing-disabled observability adds %.1f%% to the cached "

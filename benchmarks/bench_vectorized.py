@@ -1,0 +1,178 @@
+"""Vectorized executor throughput: batch mode vs record-at-a-time.
+
+The batch engine exists to cut interpreter dispatch, not simulated
+I/O — both executors charge identical page/record totals (held by the
+differential suite in ``tests/test_vectorized.py``), so the quantity
+to gate on is record throughput: records processed per wall-clock
+second on the same plan over the same data.
+
+This bench runs the static plans of all five paper queries through
+both engines and asserts the acceptance bar on the largest one (query
+5, the 10-way chain): batch mode must process records at >=2x the row
+engine's rate.  Both sides execute the same binding sweep and are
+timed in strictly alternating repetitions, compared min-to-min, so
+machine drift hits both engines equally instead of deciding the
+verdict.
+
+``REPRO_BENCH_N`` scales the repetition count (floor 5).
+"""
+
+from time import perf_counter
+
+from conftest import bench_invocations, write_and_print, write_json_results
+
+from repro import (
+    Database,
+    execute_plan,
+    optimize_static,
+    paper_workload,
+    populate_database,
+)
+from repro.workloads import binding_series
+
+#: The acceptance bar on the largest paper query.
+MIN_SPEEDUP = 2.0
+
+#: The paper query the bar is gated on (10-way chain join).
+GATED_QUERY = 5
+
+#: Binding sets swept per timed repetition.
+BINDING_SETS = 5
+
+
+def _sweep_seconds(plan, database, bindings_list, parameter_space, mode):
+    """Wall seconds to execute ``plan`` once per binding set."""
+    started = perf_counter()
+    for bindings in bindings_list:
+        execute_plan(
+            plan, database, bindings, parameter_space, execution_mode=mode
+        )
+    return perf_counter() - started
+
+
+def _measure_query(number, repetitions):
+    """Min-of-reps row/batch timings for one paper query's static plan."""
+    workload = paper_workload(number)
+    plan = optimize_static(workload.catalog, workload.query).plan
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    bindings_list = binding_series(workload, count=BINDING_SETS, seed=5)
+    space = workload.query.parameter_space
+
+    # Records processed and rows returned are mode-independent; take
+    # them from one untimed run (which also warms both code paths).
+    row_result = execute_plan(
+        plan, database, bindings_list[0], space, execution_mode="row"
+    )
+    batch_result = execute_plan(
+        plan, database, bindings_list[0], space, execution_mode="batch"
+    )
+    assert row_result.io_snapshot == batch_result.io_snapshot
+    records_per_sweep = 0
+    for bindings in bindings_list:
+        before = database.io_stats.snapshot()["records_processed"]
+        execute_plan(plan, database, bindings, space, execution_mode="row")
+        records_per_sweep += (
+            database.io_stats.snapshot()["records_processed"] - before
+        )
+
+    row_seconds = float("inf")
+    batch_seconds = float("inf")
+    for _ in range(repetitions):
+        row_seconds = min(
+            row_seconds,
+            _sweep_seconds(plan, database, bindings_list, space, "row"),
+        )
+        batch_seconds = min(
+            batch_seconds,
+            _sweep_seconds(plan, database, bindings_list, space, "batch"),
+        )
+    return {
+        "query": workload.name,
+        "rows": row_result.row_count,
+        "records": records_per_sweep,
+        "row_seconds": row_seconds,
+        "batch_seconds": batch_seconds,
+        "row_throughput": records_per_sweep / row_seconds,
+        "batch_throughput": records_per_sweep / batch_seconds,
+        "speedup": row_seconds / batch_seconds,
+    }
+
+
+def render_table(measurements):
+    """The row/batch comparison table as printable text."""
+    lines = [
+        "vectorized executor: record throughput, batch vs row "
+        "(static plans, %d binding sets, min-of-reps)" % BINDING_SETS,
+        "",
+        "  %-8s %8s %10s %12s %12s %14s %14s %8s"
+        % (
+            "query",
+            "rows",
+            "records",
+            "row-sec",
+            "batch-sec",
+            "row-rec/s",
+            "batch-rec/s",
+            "speedup",
+        ),
+    ]
+    for m in measurements:
+        lines.append(
+            "  %-8s %8d %10d %12.6f %12.6f %14.0f %14.0f %7.2fx"
+            % (
+                m["query"],
+                m["rows"],
+                m["records"],
+                m["row_seconds"],
+                m["batch_seconds"],
+                m["row_throughput"],
+                m["batch_throughput"],
+                m["speedup"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def test_batch_throughput(results_dir):
+    repetitions = max(5, bench_invocations() // 2)
+    measurements = [
+        _measure_query(number, repetitions) for number in (1, 2, 3, 4, 5)
+    ]
+
+    write_and_print(results_dir, "vectorized", render_table(measurements))
+    records = []
+    for m in measurements:
+        records.append(
+            {
+                "name": "vectorized_%s" % m["query"],
+                "metric": "batch_record_throughput",
+                "value": m["batch_throughput"],
+                "unit": "records/s",
+            }
+        )
+        records.append(
+            {
+                "name": "vectorized_%s" % m["query"],
+                "metric": "row_record_throughput",
+                "value": m["row_throughput"],
+                "unit": "records/s",
+            }
+        )
+        records.append(
+            {
+                "name": "vectorized_%s" % m["query"],
+                "metric": "batch_over_row_speedup",
+                "value": m["speedup"],
+                "unit": "x",
+            }
+        )
+    write_json_results(results_dir, "vectorized", records)
+
+    gated = next(
+        m for m in measurements if m["query"] == "query%d" % GATED_QUERY
+    )
+    assert gated["speedup"] >= MIN_SPEEDUP, (
+        "batch mode only %.2fx the row engine's record throughput on "
+        "%s (bar: %.1fx)" % (gated["speedup"], gated["query"], MIN_SPEEDUP)
+    )

@@ -9,6 +9,7 @@ Set ``REPRO_BENCH_N`` to change the invocation count (default 30; the
 paper uses 100 — see EXPERIMENTS.md for a full-N run's numbers).
 """
 
+import json
 import os
 import pathlib
 
@@ -50,3 +51,33 @@ def write_and_print(results_dir, name, text):
     path.write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+#: Keys every machine-readable benchmark record must carry.
+RESULT_RECORD_KEYS = frozenset(("name", "metric", "value", "unit"))
+
+
+def write_json_results(results_dir, name, records):
+    """Persist machine-readable benchmark results; returns the path.
+
+    ``records`` is a list of ``{name, metric, value, unit}`` dicts —
+    one measurement each — written to ``benchmarks/results/<name>.json``
+    so CI can collect the perf trajectory as an artifact.  Records are
+    validated here so a malformed bench fails its own run, not the
+    downstream consumer.
+    """
+    records = list(records)
+    for record in records:
+        missing = RESULT_RECORD_KEYS - set(record)
+        if missing:
+            raise ValueError(
+                "benchmark record %r missing keys: %s"
+                % (record, ", ".join(sorted(missing)))
+            )
+        if not isinstance(record["value"], (int, float)):
+            raise ValueError(
+                "benchmark record %r value must be numeric" % (record,)
+            )
+    path = results_dir / ("%s.json" % name)
+    path.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")
+    return path

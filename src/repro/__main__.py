@@ -4,6 +4,9 @@ Commands:
 
 * ``demo``                 — compile, store, activate, and execute the
   motivating example end to end, narrating each step;
+* ``run``                  — optimize and execute one paper query under
+  either executor (``--execution-mode row|batch``) and print rows,
+  I/O totals, and wall time;
 * ``experiments [N]``      — regenerate the paper's evaluation
   (Table 1 and Figures 3-8) with N invocations per query (default 100);
 * ``sql "<query>"``        — parse an embedded-SQL query against the
@@ -84,6 +87,86 @@ def _demo():
     return 0
 
 
+def _run(argv):
+    import argparse
+    import time
+
+    from repro.workloads.bindings import random_bindings
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Optimize and execute one paper query end to end, under "
+            "the record-at-a-time or the vectorized batch executor."
+        ),
+    )
+    parser.add_argument(
+        "--query", type=int, default=5, choices=(1, 2, 3, 4, 5),
+        help="paper query number (default 5, the 10-way chain)",
+    )
+    parser.add_argument(
+        "--execution-mode", choices=("row", "batch"), default="row",
+        help="executor: record-at-a-time iterators or vectorized "
+        "batches (default row)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="records per batch in batch mode (default 1024)",
+    )
+    parser.add_argument(
+        "--static", action="store_true",
+        help="execute the static expected-value plan instead of the "
+        "dynamic plan",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for data population and bindings (default 0)",
+    )
+    args = parser.parse_args(argv)
+
+    workload = paper_workload(args.query, seed=args.seed)
+    optimize = optimize_static if args.static else optimize_dynamic
+    plan = optimize(workload.catalog, workload.query).plan
+    database = Database(workload.catalog)
+    populate_database(database, seed=args.seed)
+    bindings = random_bindings(workload, seed=args.seed)
+    started = time.perf_counter()
+    result = execute_plan(
+        plan,
+        database,
+        bindings,
+        workload.query.parameter_space,
+        execution_mode=args.execution_mode,
+        batch_size=args.batch_size,
+    )
+    wall = time.perf_counter() - started
+    io = result.io_snapshot
+    print(
+        "run %s (%s plan, %s mode, seed %d)"
+        % (
+            workload.name,
+            "static" if args.static else "dynamic",
+            args.execution_mode,
+            args.seed,
+        )
+    )
+    print(
+        "  %d rows in %.6fs wall; pages read %d, written %d, "
+        "records processed %d, index probes %d"
+        % (
+            result.row_count,
+            wall,
+            io["pages_read"],
+            io["pages_written"],
+            io["records_processed"],
+            io["index_probes"],
+        )
+    )
+    if result.decisions:
+        print("  start-up decisions: %d" % len(result.decisions))
+    return 0
+
+
 def _serve_batch(argv):
     import argparse
 
@@ -126,6 +209,10 @@ def _serve_batch(argv):
         "--no-execute", action="store_true",
         help="skip data execution; measure optimization and start-up only",
     )
+    parser.add_argument(
+        "--execution-mode", choices=("row", "batch"), default=None,
+        help="override the spec's executor (row or batch)",
+    )
     args = parser.parse_args(argv)
 
     overrides = {
@@ -133,6 +220,7 @@ def _serve_batch(argv):
         "threads": args.threads,
         "capacity": args.capacity,
         "seed": args.seed,
+        "execution_mode": args.execution_mode,
     }
     overrides = {key: value for key, value in overrides.items()
                  if value is not None}
@@ -197,6 +285,11 @@ def _explain(argv):
         help="include wall-clock per-operator timings "
         "(non-deterministic; excluded by default)",
     )
+    parser.add_argument(
+        "--execution-mode", choices=("row", "batch"), default="row",
+        help="executor used by --analyze; cardinalities and q-errors "
+        "are identical in both (default row)",
+    )
     args = parser.parse_args(argv)
 
     workload = paper_workload(args.query, seed=args.seed)
@@ -221,6 +314,7 @@ def _explain(argv):
         database,
         bindings,
         workload.query.parameter_space,
+        execution_mode=args.execution_mode,
     )
     print(
         "EXPLAIN ANALYZE %s (%s plan, seed %d)"
@@ -264,6 +358,10 @@ def _accuracy(argv):
         "--json", action="store_true",
         help="emit the report as JSON instead of the table",
     )
+    parser.add_argument(
+        "--execution-mode", choices=("row", "batch"), default="row",
+        help="executor for the traced replay (default row)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -282,6 +380,7 @@ def _accuracy(argv):
         invocations=args.invocations,
         seed=args.seed,
         mode="static" if args.static else "dynamic",
+        execution_mode=args.execution_mode,
     )
     if args.json:
         print(report.to_json())
@@ -318,6 +417,8 @@ def main(argv=None):
     command = argv[0] if argv else "demo"
     if command == "demo":
         return _demo()
+    if command == "run":
+        return _run(argv[1:])
     if command == "experiments":
         return _experiments(argv[1:])
     if command == "sql":

@@ -14,13 +14,19 @@ from repro.executor.adaptive import (
     AdaptiveReport,
     execute_adaptively,
 )
-from repro.executor.engine import ExecutionContext, ExecutionResult, execute_plan
+from repro.executor.engine import (
+    EXECUTION_MODES,
+    ExecutionContext,
+    ExecutionResult,
+    execute_plan,
+)
 from repro.executor.plan_store import PlanStore
 from repro.executor.shrinking import ShrinkingAccessModule
 from repro.executor.startup import StartupReport, activate_plan, resolve_dynamic_plan
 from repro.executor.validation import node_is_feasible, validate_plan
 
 __all__ = [
+    "EXECUTION_MODES",
     "AccessModule",
     "AdaptiveExecutor",
     "AdaptiveReport",

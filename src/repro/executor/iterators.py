@@ -22,6 +22,7 @@ from repro.algebra.physical import (
 )
 from repro.common.errors import ExecutionError
 from repro.common.units import pages_for_records
+from repro.executor.predicates import compile_predicate
 
 
 def build_iterator(plan, context):
@@ -160,10 +161,12 @@ class FilterBTreeScanIterator(PlanIterator):
             self.context, plan.relation_name, plan.attribute
         )
 
+        qualifies = compile_predicate(plan.predicate, self.context.bindings)
+
         def generate():
             for _key, rid in btree.range_scan(low, high):
                 record = heap.fetch(rid, pool)
-                if plan.predicate.evaluate(record, self.context.bindings):
+                if qualifies(record):
                     yield record
 
         return generate()
@@ -183,17 +186,22 @@ class FilterBTreeScanIterator(PlanIterator):
 
 
 class FilterIterator(PlanIterator):
-    """Predicate filter over any input."""
+    """Predicate filter over any input.
+
+    The predicate is compiled once at open into a single closure
+    (operand resolved, operator dispatched), so the per-record path is
+    one call instead of a walk over the predicate structures.
+    """
 
     def _produce(self):
         child = build_iterator(self.plan.input, self.context)
-        predicate = self.plan.predicate
-        bindings = self.context.bindings
+        qualifies = compile_predicate(self.plan.predicate, self.context.bindings)
 
         def generate():
+            charge = self.io_stats.charge_records
             for record in child:
-                self.io_stats.charge_records(1)
-                if predicate.evaluate(record, bindings):
+                charge(1)
+                if qualifies(record):
                     yield record
 
         return generate()
@@ -242,12 +250,7 @@ class HashJoinIterator(PlanIterator):
 
     def _sides(self):
         """Which side of the primary predicate feeds build vs probe."""
-        predicate = self.plan.predicate
-        build_relations = _plan_relations(self.plan.build)
-        left_rel = predicate.left_attribute.split(".", 1)[0]
-        if left_rel in build_relations:
-            return predicate.left_attribute, predicate.right_attribute
-        return predicate.right_attribute, predicate.left_attribute
+        return join_sides(self.plan.predicate, self.plan.build)
 
 
 class MergeJoinIterator(PlanIterator):
@@ -296,12 +299,7 @@ class MergeJoinIterator(PlanIterator):
         return generate()
 
     def _sides(self):
-        predicate = self.plan.predicate
-        left_relations = _plan_relations(self.plan.left)
-        left_rel = predicate.left_attribute.split(".", 1)[0]
-        if left_rel in left_relations:
-            return predicate.left_attribute, predicate.right_attribute
-        return predicate.right_attribute, predicate.left_attribute
+        return join_sides(self.plan.predicate, self.plan.left)
 
 
 class IndexJoinIterator(PlanIterator):
@@ -337,11 +335,7 @@ class IndexJoinIterator(PlanIterator):
         return generate()
 
     def _outer_attribute(self):
-        predicate = self.plan.predicate
-        inner_qualified = "%s.%s" % (self.plan.inner_relation, self.plan.inner_attribute)
-        if predicate.left_attribute == inner_qualified:
-            return predicate.right_attribute
-        return predicate.left_attribute
+        return index_join_outer_attribute(self.plan)
 
 
 class SortIterator(PlanIterator):
@@ -423,6 +417,25 @@ def _extra_predicates_hold(merged, predicates):
         if merged[predicate.left_attribute] != merged[predicate.right_attribute]:
             return False
     return True
+
+
+def join_sides(predicate, left_plan):
+    """``(left-side, right-side)`` attributes of a join predicate,
+    oriented so the first belongs to ``left_plan``'s relations."""
+    left_relations = _plan_relations(left_plan)
+    left_rel = predicate.left_attribute.split(".", 1)[0]
+    if left_rel in left_relations:
+        return predicate.left_attribute, predicate.right_attribute
+    return predicate.right_attribute, predicate.left_attribute
+
+
+def index_join_outer_attribute(plan):
+    """The outer-side attribute of an index join's primary predicate."""
+    predicate = plan.predicate
+    inner_qualified = "%s.%s" % (plan.inner_relation, plan.inner_attribute)
+    if predicate.left_attribute == inner_qualified:
+        return predicate.right_attribute
+    return predicate.left_attribute
 
 
 def _plan_relations(plan):

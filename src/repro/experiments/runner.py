@@ -1,13 +1,14 @@
 """One-shot runner for the complete reproduced evaluation.
 
-``python -m repro.experiments.runner [N] [--csv DIR] [--accuracy]``
-optimizes the five paper queries in all three scenarios (with and
-without memory uncertainty), regenerates Figures 3-8 and Table 1,
-prints the report, and optionally writes one CSV per figure into DIR
-(for external plotting tools).  ``--accuracy`` appends the
-cost-model accuracy report (per-operator q-error distributions from a
-traced replay of the five queries; see
-:mod:`repro.observability.accuracy`).
+``python -m repro.experiments.runner [N] [--csv DIR] [--accuracy]
+[--execution-mode row|batch]`` optimizes the five paper queries in all
+three scenarios (with and without memory uncertainty), regenerates
+Figures 3-8 and Table 1, prints the report, and optionally writes one
+CSV per figure into DIR (for external plotting tools).  ``--accuracy``
+appends the cost-model accuracy report (per-operator q-error
+distributions from a traced replay of the five queries; see
+:mod:`repro.observability.accuracy`); ``--execution-mode`` selects the
+executor that replay runs under.
 """
 
 import os
@@ -58,7 +59,7 @@ def write_csvs(figures, directory):
 
 
 def main(argv=None):
-    """CLI entry point: ``[N] [--csv DIR] [--accuracy]``."""
+    """CLI entry: ``[N] [--csv DIR] [--accuracy] [--execution-mode M]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     csv_directory = None
     if "--csv" in argv:
@@ -67,6 +68,18 @@ def main(argv=None):
             csv_directory = argv[position + 1]
         except IndexError:
             print("--csv requires a directory argument")
+            return 2
+        del argv[position:position + 2]
+    execution_mode = "row"
+    if "--execution-mode" in argv:
+        position = argv.index("--execution-mode")
+        try:
+            execution_mode = argv[position + 1]
+        except IndexError:
+            print("--execution-mode requires 'row' or 'batch'")
+            return 2
+        if execution_mode not in ("row", "batch"):
+            print("--execution-mode must be 'row' or 'batch'")
             return 2
         del argv[position:position + 2]
     with_accuracy = "--accuracy" in argv
@@ -79,7 +92,9 @@ def main(argv=None):
     if with_accuracy:
         from repro.observability.accuracy import cost_model_accuracy
 
-        report = cost_model_accuracy(seed=settings.seed)
+        report = cost_model_accuracy(
+            seed=settings.seed, execution_mode=execution_mode
+        )
         print()
         print(report.render())
     if csv_directory is not None:

@@ -215,6 +215,7 @@ def cost_model_accuracy(
     invocations=5,
     seed=0,
     mode="dynamic",
+    execution_mode="row",
 ):
     """Replay paper queries traced and report q-error distributions.
 
@@ -222,6 +223,10 @@ def cost_model_accuracy(
     the dynamic plan (choose-plan decisions resolve at open time, so
     the estimates profiled are the start-up re-evaluations), while
     ``"static"`` executes the traditional expected-value plan.
+    ``execution_mode`` selects the engine (``"row"`` or ``"batch"``);
+    traced row counts are exact in both, so the report is identical —
+    the knob exists to let the accuracy pipeline exercise either
+    executor.
     """
     if mode == "dynamic":
         optimize = optimize_dynamic
@@ -242,6 +247,7 @@ def cost_model_accuracy(
                 database,
                 bindings,
                 workload.query.parameter_space,
+                execution_mode=execution_mode,
             )
             observations.extend(
                 OperatorObservation(workload.name, profile)

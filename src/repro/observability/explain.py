@@ -170,14 +170,18 @@ def build_profile(trace, cost_model):
 
 
 def explain_analyze(plan, database, bindings=None, parameter_space=None,
-                    use_buffer_pool=False):
+                    use_buffer_pool=False, execution_mode="row",
+                    batch_size=None):
     """Execute ``plan`` under a fresh tracer; returns the result.
 
     The returned :class:`~repro.executor.engine.ExecutionResult`
     carries ``trace`` and ``profile``; render the latter for the
     classic ``EXPLAIN ANALYZE`` view.  Dynamic plans work directly —
     the choose-plan operators resolve at open time and the trace shows
-    the chosen alternative beneath them.
+    the chosen alternative beneath them.  ``execution_mode`` selects
+    the engine (``"row"`` or ``"batch"``); spans report exact row
+    counts either way, so the rendered cardinalities and q-errors are
+    identical across modes.
     """
     from repro.executor.engine import execute_plan
 
@@ -188,6 +192,8 @@ def explain_analyze(plan, database, bindings=None, parameter_space=None,
         parameter_space,
         use_buffer_pool=use_buffer_pool,
         tracer=Tracer(),
+        execution_mode=execution_mode,
+        batch_size=batch_size,
     )
 
 

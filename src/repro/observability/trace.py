@@ -123,14 +123,15 @@ class PhaseSpan:
         return "PhaseSpan(%s, %.6fs)" % (self.name, self.seconds)
 
 
-class _TracedStream:
+class _TracedStreamBase:
     """Iterator wrapper accumulating span counters per advance.
 
     Around every ``next`` on the underlying generator the wrapper
     snapshots the shared I/O counters and the clock, and makes its
     span the tracer's *current* span so operators opened inside the
     advance (children pulled for the first time, choose-plan's chosen
-    alternative) link to it as their parent.
+    alternative) link to it as their parent.  Subclasses differ only
+    in how an advance's item contributes to the span's row count.
     """
 
     __slots__ = ("_tracer", "_span", "_stream", "_io")
@@ -144,7 +145,7 @@ class _TracedStream:
     def __iter__(self):
         return self
 
-    def __next__(self):
+    def _advance(self):
         tracer = self._tracer
         span = self._span
         io = self._io
@@ -156,7 +157,7 @@ class _TracedStream:
         probes = io.index_probes
         started = perf_counter()
         try:
-            record = next(self._stream)
+            item = next(self._stream)
         except StopIteration:
             span.exhausted = True
             raise
@@ -167,8 +168,35 @@ class _TracedStream:
             span.records_processed += io.records_processed - records
             span.index_probes += io.index_probes - probes
             tracer._current = previous
-        span.rows += 1
+        return item
+
+
+class _TracedStream(_TracedStreamBase):
+    """Record-at-a-time traced stream: one row per advance."""
+
+    __slots__ = ()
+
+    def __next__(self):
+        record = self._advance()
+        self._span.rows += 1
         return record
+
+
+class _TracedBatchStream(_TracedStreamBase):
+    """Batch-at-a-time traced stream: one advance covers a whole batch.
+
+    Spans still report *exact* record counts — rows advance by the
+    batch's length — so ``explain --analyze`` cardinalities and
+    q-error reports are identical across execution modes; only the
+    per-advance wall-clock granularity differs.
+    """
+
+    __slots__ = ()
+
+    def __next__(self):
+        batch = self._advance()
+        self._span.rows += len(batch)
+        return batch
 
 
 class Tracer:
@@ -211,6 +239,22 @@ class Tracer:
         real work — including opening children — while producing
         their stream.
         """
+        span, stream, io = self._windowed_produce(iterator, "_produce")
+        return _TracedStream(self, span, stream, io)
+
+    def instrument_batches(self, iterator):
+        """Like :meth:`instrument` for a vectorized batch iterator.
+
+        Called by :meth:`BatchPlanIterator.open
+        <repro.executor.vectorized.BatchPlanIterator>`; the span's row
+        count advances by each batch's length, so traces report the
+        same exact cardinalities as row-mode execution.
+        """
+        span, stream, io = self._windowed_produce(iterator, "_produce_batches")
+        return _TracedBatchStream(self, span, stream, io)
+
+    def _windowed_produce(self, iterator, produce_name):
+        """Open a span and run the iterator's produce step under it."""
         span = self.begin_operator(iterator.plan)
         io = iterator.io_stats
         previous = self._current
@@ -221,7 +265,7 @@ class Tracer:
         probes = io.index_probes
         started = perf_counter()
         try:
-            stream = iterator._produce()
+            stream = getattr(iterator, produce_name)()
         finally:
             span.wall_seconds += perf_counter() - started
             span.pages_read += io.pages_read - pages_read
@@ -229,7 +273,7 @@ class Tracer:
             span.records_processed += io.records_processed - records
             span.index_probes += io.index_probes - probes
             self._current = previous
-        return _TracedStream(self, span, stream, io)
+        return span, stream, io
 
     # ------------------------------------------------------------------
     # Phase spans (driven by the optimizer and the service)

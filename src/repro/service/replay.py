@@ -74,17 +74,23 @@ class ReplayReport:
         )
 
 
-def replay_spec(spec, execute=None, baseline_samples=2, optimize=None):
+def replay_spec(
+    spec, execute=None, baseline_samples=2, optimize=None, execution_mode=None
+):
     """Replay a service workload spec; returns a :class:`ReplayReport`.
 
     ``execute`` overrides the spec's execute flag (useful for latency-
     only smoke runs); ``optimize`` overrides the optimizer entry point
-    for both the service and the baseline measurement.
+    for both the service and the baseline measurement;
+    ``execution_mode`` overrides the spec's executor (``"row"`` or
+    ``"batch"``).
     """
     if optimize is None:
         from repro.optimizer.optimizer import optimize_dynamic
 
         optimize = optimize_dynamic
+    if execution_mode is not None:
+        spec = spec.replace(execution_mode=execution_mode)
     workloads, requests = generate_service_requests(spec)
     catalog = workloads[0].catalog
     database = Database(catalog)
@@ -102,6 +108,7 @@ def replay_spec(spec, execute=None, baseline_samples=2, optimize=None):
         max_workers=spec.threads,
         optimize=optimize,
         execute=do_execute,
+        execution_mode=spec.execution_mode,
     ) as service:
         started = time.perf_counter()
         results = service.run_batch(service_requests)
@@ -135,8 +142,14 @@ def render_report(report):
     stats = report.stats
     lines = []
     lines.append(
-        "serve-batch: %d invocations over %d query shapes, %d threads"
-        % (len(report.results), len(report.spec.queries), report.spec.threads)
+        "serve-batch: %d invocations over %d query shapes, %d threads, "
+        "%s execution"
+        % (
+            len(report.results),
+            len(report.spec.queries),
+            report.spec.threads,
+            report.spec.execution_mode,
+        )
     )
     lines.append("")
     lines.append(

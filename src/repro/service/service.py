@@ -30,7 +30,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.executor.engine import execute_plan
+from repro.common.errors import ExecutionError
+from repro.executor.engine import EXECUTION_MODES, execute_plan
 from repro.executor.startup import activate_plan
 from repro.service.cache import PlanCache
 from repro.service.decision import CompiledDecision, DecisionCompilationError
@@ -53,14 +54,17 @@ def percentile(values, fraction):
 class ServiceRequest:
     """One invocation: a query plus its start-up bindings."""
 
-    __slots__ = ("query", "bindings", "execute", "tag")
+    __slots__ = ("query", "bindings", "execute", "tag", "execution_mode")
 
-    def __init__(self, query, bindings, execute=None, tag=None):
+    def __init__(self, query, bindings, execute=None, tag=None, execution_mode=None):
         self.query = query
         self.bindings = bindings
         #: None inherits the service default; True/False overrides it.
         self.execute = execute
         self.tag = tag
+        #: None inherits the service default; ``"row"``/``"batch"``
+        #: overrides it for this invocation alone.
+        self.execution_mode = execution_mode
 
     def __repr__(self):
         return "ServiceRequest(%s, tag=%r)" % (self.query.name, self.tag)
@@ -217,6 +221,14 @@ class QueryService:
         Optional :class:`~repro.observability.trace.Tracer` forwarded
         to plan execution, recording per-operator spans.  ``None``
         costs one ``is None`` test per iterator open.
+    execution_mode:
+        Service-wide default engine for plan execution: ``"row"``
+        (record-at-a-time Volcano iterators, the default) or
+        ``"batch"`` (the vectorized executor).  Individual requests
+        override it via :attr:`ServiceRequest.execution_mode`.
+    batch_size:
+        Records per batch in ``"batch"`` mode; ``None`` uses the
+        engine default.
     """
 
     def __init__(
@@ -231,15 +243,24 @@ class QueryService:
         compiled=True,
         metrics=None,
         tracer=None,
+        execution_mode="row",
+        batch_size=None,
     ):
         if optimize is None:
             from repro.optimizer.optimizer import optimize_dynamic
 
             optimize = optimize_dynamic
+        if execution_mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                "execution_mode must be one of %r, got %r"
+                % (EXECUTION_MODES, execution_mode)
+            )
         self.database = database
         self.catalog = database.catalog
         self.cache = PlanCache(capacity, metrics=metrics)
         self.default_execute = bool(execute)
+        self.execution_mode = execution_mode
+        self.batch_size = batch_size
         self.branch_and_bound = bool(branch_and_bound)
         self.validate = bool(validate)
         self.compiled = bool(compiled)
@@ -296,15 +317,15 @@ class QueryService:
     # Serving
     # ------------------------------------------------------------------
 
-    def run(self, query, bindings, execute=None, tag=None):
+    def run(self, query, bindings, execute=None, tag=None, execution_mode=None):
         """Serve one invocation synchronously on the calling thread."""
         self._inflight_tokens.append(None)
         try:
-            return self._run(query, bindings, execute, tag)
+            return self._run(query, bindings, execute, tag, execution_mode)
         finally:
             self._inflight_tokens.pop()
 
-    def _run(self, query, bindings, execute, tag):
+    def _run(self, query, bindings, execute, tag, execution_mode=None):
         started = time.perf_counter()
         entry, cache_hit = self.cache.entry_for(query)
         optimize_seconds = 0.0
@@ -345,6 +366,7 @@ class QueryService:
         execution = None
         do_execute = self.default_execute if execute is None else execute
         if do_execute:
+            mode = self.execution_mode if execution_mode is None else execution_mode
             with self._db_lock:
                 execution = execute_plan(
                     chosen,
@@ -352,6 +374,8 @@ class QueryService:
                     bindings,
                     parameter_space,
                     tracer=self.tracer,
+                    execution_mode=mode,
+                    batch_size=self.batch_size,
                 )
 
         total_seconds = time.perf_counter() - started
@@ -399,9 +423,11 @@ class QueryService:
         entry.install(plan, query.parameter_space, decision)
         return time.perf_counter() - compile_started
 
-    def submit(self, query, bindings, execute=None, tag=None):
+    def submit(self, query, bindings, execute=None, tag=None, execution_mode=None):
         """Serve one invocation on the pool; returns a Future."""
-        return self._pool.submit(self.run, query, bindings, execute, tag)
+        return self._pool.submit(
+            self.run, query, bindings, execute, tag, execution_mode
+        )
 
     def run_batch(self, requests):
         """Serve many requests concurrently, preserving request order.
@@ -411,7 +437,13 @@ class QueryService:
         order in which pool threads finish.
         """
         futures = [
-            self.submit(request.query, request.bindings, request.execute, request.tag)
+            self.submit(
+                request.query,
+                request.bindings,
+                request.execute,
+                request.tag,
+                request.execution_mode,
+            )
             for request in requests
         ]
         return [future.result() for future in futures]

@@ -188,6 +188,46 @@ class BTree:
             return list(node.values[position])
         return []
 
+    def search_many(self, keys):
+        """RID lists for several exact keys, charged like :meth:`search`.
+
+        The batch path of :meth:`search`: one index probe and one page
+        read per level for each key — every descent touches the same
+        number of levels because all leaves sit at the same depth — so
+        the totals of ``len(keys)`` single searches can be charged in
+        two bulk calls, and the descents run without per-level
+        accounting.  Duplicate keys are charged like repeated searches
+        but descend only once; the returned RID lists may be shared
+        between duplicates, so callers must treat them as read-only.
+        """
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        self.io_stats.charge_index_probe(len(keys))
+        self.io_stats.charge_page_reads(height * len(keys))
+        root = self._root
+        bisect_right = bisect.bisect_right
+        bisect_left = bisect.bisect_left
+        memo = {}
+        results = []
+        append = results.append
+        for key in keys:
+            rids = memo.get(key)
+            if rids is None:
+                node = root
+                while not node.is_leaf:
+                    node = node.children[bisect_right(node.keys, key)]
+                position = bisect_left(node.keys, key)
+                if position < len(node.keys) and node.keys[position] == key:
+                    rids = list(node.values[position])
+                else:
+                    rids = []
+                memo[key] = rids
+            append(rids)
+        return results
+
     def range_scan(self, low=None, high=None):
         """Yield ``(key, rid)`` in key order for ``low <= key <= high``.
 

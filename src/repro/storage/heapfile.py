@@ -91,6 +91,50 @@ class HeapFile:
                 self.io_stats.charge_records(1)
                 yield record
 
+    def scan_batches(self, batch_size, buffer_pool=None):
+        """Yield page-aligned record batches, charging per page.
+
+        The batch path of :meth:`scan`: identical page-read and
+        record charges (one page read per page touched, one record
+        charge per record), but batched — records are charged per
+        page instead of one call per record, and batches only break
+        at page boundaries, so a batch holds whole pages.  A batch is
+        flushed once it reaches ``batch_size`` records; the final
+        batch may be smaller.
+        """
+        if batch_size < 1:
+            raise ExecutionError("batch_size must be at least 1")
+        if buffer_pool is None:
+            # No pool: every page is a miss, so pages and records can
+            # be charged in bulk per batch instead of per page.
+            batch = []
+            page_count = 0
+            for page in self._pages:
+                page_count += 1
+                batch.extend(page)
+                if len(batch) >= batch_size:
+                    self.io_stats.charge_page_reads(page_count)
+                    self.io_stats.charge_records(len(batch))
+                    page_count = 0
+                    yield batch
+                    batch = []
+            if batch:
+                self.io_stats.charge_page_reads(page_count)
+                self.io_stats.charge_records(len(batch))
+                yield batch
+            return
+        batch = []
+        for page_number, page in enumerate(self._pages):
+            if not buffer_pool.access((self.schema.relation_name, page_number)):
+                self.io_stats.charge_page_reads(1)
+            self.io_stats.charge_records(len(page))
+            batch.extend(page)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def fetch(self, rid, buffer_pool=None):
         """Fetch one record by RID, charging one page read on a miss.
 
@@ -111,6 +155,28 @@ class HeapFile:
             self.io_stats.charge_page_reads(1)
         self.io_stats.charge_records(1)
         return record
+
+    def fetch_many(self, rids, buffer_pool=None):
+        """Fetch several records by RID, with the charges of :meth:`fetch`.
+
+        The batch path of :meth:`fetch`: the same one-page-read-per-RID
+        and one-record-per-RID accounting, but charged in bulk when no
+        buffer pool is attached (every fetch is a miss, so the totals
+        are position-independent).  With a pool the per-RID access
+        order is preserved so hit patterns match the row-mode path.
+        """
+        pages = self._pages
+        if buffer_pool is None:
+            try:
+                records = [pages[rid[0]][rid[1]] for rid in rids]
+            except IndexError:
+                for rid in rids:
+                    self.fetch(rid)  # re-raises with the offending RID
+                raise ExecutionError("invalid RID in %r" % (rids,))
+            self.io_stats.charge_page_reads(len(records))
+            self.io_stats.charge_records(len(records))
+            return records
+        return [self.fetch(rid, buffer_pool) for rid in rids]
 
     def all_records(self):
         """All records without charging I/O (catalog/loader internals)."""

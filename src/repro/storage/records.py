@@ -64,13 +64,19 @@ class Record:
 
     def merged_with(self, other):
         """A new record holding this record's and ``other``'s fields."""
+        merged = Record.__new__(Record)
         fields = dict(self._fields)
         fields.update(other._fields)
-        return Record(fields)
+        merged._fields = fields
+        merged.rid = None
+        return merged
 
     def project(self, names):
         """A new record keeping only the named fields."""
-        return Record({name: self[name] for name in names})
+        projected = Record.__new__(Record)
+        projected._fields = {name: self[name] for name in names}
+        projected.rid = None
+        return projected
 
     def __eq__(self, other):
         if not isinstance(other, Record):

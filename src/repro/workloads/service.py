@@ -23,6 +23,7 @@ Spec JSON format::
       "threads": 8,
       "capacity": 64,
       "execute": true,
+      "execution_mode": "row",
       "queries": [
         {"relations": 2, "topology": "chain", "weight": 3},
         {"relations": 4, "topology": "star", "weight": 1,
@@ -124,6 +125,7 @@ class ServiceWorkloadSpec:
         capacity=64,
         seed=0,
         execute=True,
+        execution_mode="row",
     ):
         self.queries = list(queries)
         if not self.queries:
@@ -133,6 +135,11 @@ class ServiceWorkloadSpec:
         self.capacity = int(capacity)
         self.seed = int(seed)
         self.execute = bool(execute)
+        if execution_mode not in ("row", "batch"):
+            raise OptimizationError(
+                "execution_mode must be 'row' or 'batch', got %r" % (execution_mode,)
+            )
+        self.execution_mode = execution_mode
         if self.invocations < 0:
             raise OptimizationError("invocations must be non-negative")
         if self.threads < 1:
@@ -150,6 +157,7 @@ class ServiceWorkloadSpec:
             capacity=data.get("capacity", 64),
             seed=data.get("seed", 0),
             execute=data.get("execute", True),
+            execution_mode=data.get("execution_mode", "row"),
         )
 
     @classmethod
@@ -182,6 +190,7 @@ class ServiceWorkloadSpec:
             "capacity": self.capacity,
             "seed": self.seed,
             "execute": self.execute,
+            "execution_mode": self.execution_mode,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

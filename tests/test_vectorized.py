@@ -1,0 +1,261 @@
+"""Differential tests: batch execution must equal row execution.
+
+The vectorized engine re-implements every physical operator, so the
+highest-risk bug is a silent semantic divergence — different rows,
+different simulated I/O, or different start-up decisions than the
+record-at-a-time Volcano path.  These tests execute every paper query
+in both modes from identically populated databases, across static and
+dynamic plans and with tracing on and off, and require byte-identical
+result rows, identical ``IOStatistics`` totals, and identical
+choose-plan decisions.
+
+Batch-boundary edge cases run separately: empty input, a result
+smaller than one batch, batch size 1 (degenerating to row-at-a-time
+granularity), and a final partial batch.
+"""
+
+import pytest
+
+from repro.catalog import populate_database
+from repro.common.errors import ExecutionError
+from repro.executor.engine import (
+    DEFAULT_BATCH_SIZE,
+    EXECUTION_MODES,
+    ExecutionContext,
+    execute_plan,
+)
+from repro.executor.vectorized import build_batch_iterator
+from repro.observability import Tracer
+from repro.optimizer.optimizer import optimize_dynamic, optimize_static
+from repro.storage.database import Database
+from repro.workloads import binding_series, paper_workload
+
+PAPER_QUERIES = (1, 2, 3, 4, 5)
+PLAN_KINDS = ("static", "dynamic")
+
+
+def _optimize(workload, kind):
+    if kind == "static":
+        return optimize_static(workload.catalog, workload.query).plan
+    return optimize_dynamic(workload.catalog, workload.query).plan
+
+
+def _run(workload, plan, bindings, mode, tracer=None, batch_size=None):
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    return execute_plan(
+        plan,
+        database,
+        bindings,
+        workload.query.parameter_space,
+        tracer=tracer,
+        execution_mode=mode,
+        batch_size=batch_size,
+    )
+
+
+@pytest.mark.parametrize("traced", (False, True), ids=("untraced", "traced"))
+@pytest.mark.parametrize("kind", PLAN_KINDS)
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_batch_matches_row(number, kind, traced):
+    workload = paper_workload(number)
+    plan = _optimize(workload, kind)
+    for bindings in binding_series(workload, count=2, seed=5):
+        row = _run(
+            workload, plan, bindings, "row",
+            tracer=Tracer() if traced else None,
+        )
+        batch = _run(
+            workload, plan, bindings, "batch",
+            tracer=Tracer() if traced else None,
+        )
+
+        assert batch.records == row.records
+        assert batch.io_snapshot == row.io_snapshot
+        assert batch.decisions == row.decisions
+
+
+@pytest.mark.parametrize("kind", PLAN_KINDS)
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_batch_trace_reports_exact_rows(number, kind):
+    """Batch spans advance by batch length: cardinalities stay exact."""
+    workload = paper_workload(number)
+    plan = _optimize(workload, kind)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    row = _run(workload, plan, bindings, "row", tracer=Tracer())
+    batch = _run(workload, plan, bindings, "batch", tracer=Tracer())
+
+    assert len(batch.trace.roots) == 1
+    root = batch.trace.roots[0]
+    assert root.rows == batch.row_count
+    assert root.pages_read == batch.io_snapshot["pages_read"]
+    assert root.records_processed == batch.io_snapshot["records_processed"]
+
+    # Span-by-span, the batch trace reports the same per-operator rows
+    # as the row trace (same tree shape, same cardinalities).
+    row_spans = [(s.operator, s.rows) for s, _ in row.trace.walk()]
+    batch_spans = [(s.operator, s.rows) for s, _ in batch.trace.walk()]
+    assert batch_spans == row_spans
+
+
+# ----------------------------------------------------------------------
+# Batch-boundary edge cases
+# ----------------------------------------------------------------------
+
+
+def _edge_workload():
+    """Query 2 (two-way join) — small enough to sweep batch sizes."""
+    return paper_workload(2)
+
+
+@pytest.mark.parametrize("batch_size", (1, 2, 3, 7, 64, 1024))
+def test_batch_size_sweep_preserves_results(batch_size):
+    """Any batch size — including 1 — yields the row-mode results.
+
+    Covers the partial-final-batch case: the result cardinalities are
+    not multiples of most of these sizes, so the last batch is short.
+    """
+    workload = _edge_workload()
+    plan = _optimize(workload, "dynamic")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    row = _run(workload, plan, bindings, "row")
+    batch = _run(workload, plan, bindings, "batch", batch_size=batch_size)
+    assert batch.records == row.records
+    assert batch.io_snapshot == row.io_snapshot
+    assert batch.decisions == row.decisions
+
+
+def test_empty_input_produces_no_batches():
+    """A selection no record satisfies flows empty batches end to end."""
+    workload = _edge_workload()
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    # Rebind every selection variable below any stored value, so every
+    # scan's filter rejects all records.
+    for name in list(bindings._variables):
+        bindings.bind_variable(name, -1)
+    for name in bindings.parameter_names():
+        if name.startswith("sel_"):
+            bindings.bind(name, 0.0)
+    row = _run(workload, plan, bindings, "row")
+    batch = _run(workload, plan, bindings, "batch")
+    assert row.records == []
+    assert batch.records == []
+    assert batch.io_snapshot == row.io_snapshot
+
+
+def test_result_smaller_than_one_batch():
+    """The whole result fits inside a single (default-size) batch."""
+    workload = _edge_workload()
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    batch = _run(workload, plan, bindings, "batch")
+    assert 0 < batch.row_count < DEFAULT_BATCH_SIZE
+
+
+def test_batch_iterator_emits_multiple_nonempty_batches():
+    """A small batch size splits the result into several full batches.
+
+    ``batch_size`` is a target, not a hard cap — operators with
+    fan-out (a join emitting a duplicate block) may overshoot rather
+    than split mid-unit — but no operator may emit an *empty* batch,
+    and a size far below the result cardinality must produce more than
+    one batch whose concatenation is the row-mode result.
+    """
+    workload = _edge_workload()
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    row = _run(workload, plan, bindings, "row")
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    context = ExecutionContext(
+        database,
+        bindings,
+        workload.query.parameter_space,
+        execution_mode="batch",
+        batch_size=4,
+    )
+    batches = list(build_batch_iterator(plan, context).batches())
+    assert len(batches) > 1
+    assert all(batch for batch in batches)  # no empty batches emitted
+    flattened = [record for batch in batches for record in batch]
+    assert flattened == row.records
+
+
+# ----------------------------------------------------------------------
+# Mode plumbing
+# ----------------------------------------------------------------------
+
+
+def test_invalid_execution_mode_rejected():
+    workload = _edge_workload()
+    database = Database(workload.catalog)
+    with pytest.raises(ExecutionError):
+        ExecutionContext(database, execution_mode="columnar")
+    assert EXECUTION_MODES == ("row", "batch")
+
+
+def test_invalid_batch_size_rejected():
+    workload = _edge_workload()
+    database = Database(workload.catalog)
+    with pytest.raises(ExecutionError):
+        ExecutionContext(database, execution_mode="batch", batch_size=0)
+
+
+def test_context_defaults():
+    workload = _edge_workload()
+    database = Database(workload.catalog)
+    context = ExecutionContext(database)
+    assert context.execution_mode == "row"
+    assert context.batch_size == DEFAULT_BATCH_SIZE
+
+
+def test_service_execution_mode_default_and_override():
+    """The service default applies; per-request mode overrides it."""
+    from repro.service import QueryService, ServiceRequest
+
+    workload = _edge_workload()
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    with QueryService(
+        database, max_workers=1, execution_mode="batch"
+    ) as service:
+        default_result = service.run(workload.query, bindings)
+        row_result = service.run(
+            workload.query, bindings, execution_mode="row"
+        )
+        batched = service.run_batch(
+            [
+                ServiceRequest(
+                    workload.query, bindings, execution_mode="row"
+                )
+            ]
+        )
+    assert default_result.execution is not None
+    assert default_result.execution.records == row_result.execution.records
+    assert batched[0].execution.records == row_result.execution.records
+
+
+def test_service_rejects_invalid_mode():
+    from repro.service import QueryService
+
+    workload = _edge_workload()
+    with pytest.raises(ExecutionError):
+        QueryService(Database(workload.catalog), execution_mode="columnar")
+
+
+def test_workload_spec_execution_mode_roundtrip():
+    from repro.workloads.service import ServiceWorkloadSpec
+
+    spec = ServiceWorkloadSpec.from_dict(
+        {
+            "queries": [{"relations": 2}],
+            "invocations": 4,
+            "execution_mode": "batch",
+        }
+    )
+    assert spec.execution_mode == "batch"
+    assert spec.replace(execution_mode="row").execution_mode == "row"
+    with pytest.raises(Exception):
+        spec.replace(execution_mode="columnar")
