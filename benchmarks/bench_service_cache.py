@@ -18,7 +18,12 @@ that the hit-rate and percentile numbers are too noisy to gate on).
 
 import time
 
-from conftest import bench_invocations, write_and_print, write_json_results
+from conftest import (
+    bench_invocations,
+    latency_summary,
+    write_and_print,
+    write_json_results,
+)
 
 from repro.service import render_report, replay_spec
 from repro.workloads.service import ServiceQuerySpec, ServiceWorkloadSpec
@@ -121,7 +126,14 @@ def test_service_cache_amortization(benchmark, results_dir):
                 "value": report.speedup,
                 "unit": "x",
             },
-        ],
+        ]
+        + latency_summary(
+            "service_cache_hit_latency",
+            [
+                result.optimize_seconds + result.startup_seconds
+                for result in hits
+            ],
+        ),
     )
     assert baseline_mean > MIN_SPEEDUP * hit_mean, (
         "cache-hit invocations only %.1fx cheaper than optimize-per-query"

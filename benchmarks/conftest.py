@@ -15,6 +15,7 @@ import pathlib
 
 import pytest
 
+from repro.common import percentile
 from repro.experiments.figures import ExperimentContext
 from repro.experiments.results import ExperimentSettings
 
@@ -51,6 +52,35 @@ def write_and_print(results_dir, name, text):
     path.write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+def latency_summary(name, values, unit="s"):
+    """Benchmark records summarizing a latency sample: p50/p95/mean.
+
+    Uses the library's own :func:`repro.common.percentile` (the one
+    the service statistics report with), so benchmark artifacts and
+    service-side numbers are computed identically.
+    """
+    return [
+        {
+            "name": name,
+            "metric": "p50",
+            "value": percentile(values, 0.50),
+            "unit": unit,
+        },
+        {
+            "name": name,
+            "metric": "p95",
+            "value": percentile(values, 0.95),
+            "unit": unit,
+        },
+        {
+            "name": name,
+            "metric": "mean",
+            "value": sum(values) / len(values),
+            "unit": unit,
+        },
+    ]
 
 
 #: Keys every machine-readable benchmark record must carry.

@@ -19,7 +19,11 @@ Commands:
   ``--analyze``, execute it and annotate every operator with
   estimated vs actual cardinality and cost plus a q-error summary;
 * ``accuracy``             — replay the paper queries traced and
-  report per-operator cost-model q-error distributions.
+  report per-operator cost-model q-error distributions;
+* ``chaos``                — replay the paper queries through the
+  resilient query service under a named fault-injection profile and
+  report retries, degradations, and result fidelity versus fault-free
+  baselines (exit code 1 when any query misses its expectation).
 """
 
 import sys
@@ -290,7 +294,20 @@ def _explain(argv):
         help="executor used by --analyze; cardinalities and q-errors "
         "are identical in both (default row)",
     )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="query deadline for --analyze; on expiry the partial "
+        "trace collected before cancellation is rendered",
+    )
+    parser.add_argument(
+        "--fault-profile", default=None, metavar="NAME",
+        help="run --analyze with this fault-injection profile "
+        "installed (see python -m repro chaos for the names)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.common.errors import InjectedFaultError, QueryTimeoutError
+    from repro.resilience.faults import FaultInjector, fault_profile
 
     workload = paper_workload(args.query, seed=args.seed)
     if args.sql is not None:
@@ -308,20 +325,50 @@ def _explain(argv):
 
     database = Database(workload.catalog)
     populate_database(database, seed=args.seed)
+    injector = None
+    if args.fault_profile is not None:
+        injector = database.install_fault_injector(
+            FaultInjector(fault_profile(args.fault_profile), seed=args.seed)
+        )
     bindings = random_bindings(workload, seed=args.seed)
-    executed = explain_analyze(
-        result.plan,
-        database,
-        bindings,
-        workload.query.parameter_space,
-        execution_mode=args.execution_mode,
+    header = "EXPLAIN ANALYZE %s (%s plan, seed %d)" % (
+        workload.name, "static" if args.static else "dynamic", args.seed
     )
-    print(
-        "EXPLAIN ANALYZE %s (%s plan, seed %d)"
-        % (workload.name, "static" if args.static else "dynamic",
-           args.seed)
-    )
+    try:
+        executed = explain_analyze(
+            result.plan,
+            database,
+            bindings,
+            workload.query.parameter_space,
+            execution_mode=args.execution_mode,
+            deadline=args.deadline,
+        )
+    except QueryTimeoutError as error:
+        print(header + " — TIMED OUT")
+        io = error.io_snapshot or {}
+        print(
+            "  deadline %gs expired after %gs; %d rows and %d pages "
+            "read before cancellation"
+            % (
+                error.deadline_seconds,
+                error.elapsed_seconds,
+                error.rows_produced,
+                io.get("pages_read", 0),
+            )
+        )
+        if error.trace is not None and error.trace.spans:
+            print("partial trace:")
+            print(error.trace.render(show_wall=args.wall))
+        return 1
+    except InjectedFaultError as error:
+        print(header + " — FAILED")
+        print("  %s: %s" % (type(error).__name__, error))
+        print("  injector: %r" % (injector.snapshot(),))
+        return 1
+    print(header)
     print(executed.profile.render(show_wall=args.wall))
+    if injector is not None:
+        print("fault injector: %r" % (injector.snapshot(),))
     return 0
 
 
@@ -389,6 +436,77 @@ def _accuracy(argv):
     return 0
 
 
+def _chaos(argv):
+    import argparse
+
+    from repro.common.errors import ExecutionError
+    from repro.resilience.chaos import run_chaos
+    from repro.resilience.faults import FAULT_PROFILES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Replay the paper queries through the resilient query "
+            "service under a named fault-injection profile and check "
+            "outcomes against fault-free baselines."
+        ),
+    )
+    parser.add_argument(
+        "--profile", default="transient-and-drop",
+        help="fault profile to inject (one of: %s; default "
+        "transient-and-drop)" % ", ".join(sorted(FAULT_PROFILES)),
+    )
+    parser.add_argument(
+        "--queries", default="1,2,3,4,5",
+        help="comma-separated paper query numbers (default all five)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for data, bindings, and fault injection (default 0)",
+    )
+    parser.add_argument(
+        "--execution-mode", choices=("row", "batch"), default="row",
+        help="executor the service runs under faults (default row)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic JSON report instead of the table",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        numbers = tuple(
+            int(part) for part in args.queries.split(",") if part.strip()
+        )
+    except ValueError:
+        print("chaos: --queries must be comma-separated integers")
+        return 2
+    if not numbers or any(n not in (1, 2, 3, 4, 5) for n in numbers):
+        print("chaos: query numbers must be between 1 and 5")
+        return 2
+
+    try:
+        report = run_chaos(
+            args.profile,
+            query_numbers=numbers,
+            seed=args.seed,
+            execution_mode=args.execution_mode,
+        )
+    except ExecutionError as error:
+        print("chaos: %s" % error)
+        return 2
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.passed else 1
+
+
 def _experiments(argv):
     from repro.experiments.runner import main as run_experiments
 
@@ -429,6 +547,8 @@ def main(argv=None):
         return _explain(argv[1:])
     if command == "accuracy":
         return _accuracy(argv[1:])
+    if command == "chaos":
+        return _chaos(argv[1:])
     print(__doc__)
     return 2
 

@@ -9,13 +9,20 @@ ordered.  Everything in this package exists to support that idea.
 from repro.common.errors import (
     CatalogError,
     ExecutionError,
+    InjectedFaultError,
+    MemoryDropError,
     OptimizationError,
+    PermanentIOError,
     PlanError,
+    QueryTimeoutError,
     ReproError,
+    ServiceExecutionError,
+    TransientIOError,
 )
 from repro.common.intervals import Interval
 from repro.common.ordering import PartialOrder
 from repro.common.rng import derive_seed, make_rng
+from repro.common.stats import percentile
 from repro.common.units import (
     CPU_COST_WEIGHT,
     DISK_BANDWIDTH_BYTES_PER_SEC,
@@ -33,16 +40,23 @@ __all__ = [
     "DISK_BANDWIDTH_BYTES_PER_SEC",
     "ExecutionError",
     "IO_TIME_PER_PAGE",
+    "InjectedFaultError",
     "Interval",
+    "MemoryDropError",
     "OptimizationError",
     "PAGE_SIZE_BYTES",
     "PLAN_NODE_BYTES",
     "PartialOrder",
+    "PermanentIOError",
     "PlanError",
+    "QueryTimeoutError",
     "RECORDS_PER_PAGE",
     "RECORD_SIZE_BYTES",
     "ReproError",
+    "ServiceExecutionError",
+    "TransientIOError",
     "derive_seed",
     "make_rng",
     "pages_for_records",
+    "percentile",
 ]

@@ -49,3 +49,94 @@ class InfeasiblePlanError(ExecutionError):
     infeasible, while a dynamic plan survives as long as each
     choose-plan retains at least one feasible alternative.
     """
+
+
+class InjectedFaultError(ExecutionError):
+    """Base of all faults raised by the fault-injection harness.
+
+    ``site`` names the storage operation that faulted (``heap_read``,
+    ``heap_write``, ``index_probe``, ``buffer_access``);
+    ``operation_index`` is the injector's global operation counter at
+    the moment of injection, which makes every fault reproducible from
+    the profile and seed alone.
+    """
+
+    def __init__(self, message, site=None, operation_index=None):
+        super().__init__(message)
+        self.site = site
+        self.operation_index = operation_index
+
+
+class TransientIOError(InjectedFaultError):
+    """A simulated I/O error that a retry may not see again.
+
+    The run-time analogue of a lost disk request or a failed-over
+    replica read: the service's retry policy treats these as
+    recoverable and re-executes with exponential backoff.
+    """
+
+
+class PermanentIOError(InjectedFaultError):
+    """A simulated I/O error that no retry will cure.
+
+    Models a corrupted page or a dead device: the service fails the
+    request fast with this typed error instead of burning retries.
+    """
+
+
+class MemoryDropError(InjectedFaultError):
+    """The run-time memory grant shrank below the activated plan's.
+
+    Raised once per configured drop stage when the injector's
+    operation counter crosses the stage threshold.  Carries
+    ``new_memory_pages``, the grant the rest of the query must live
+    with; the service responds by re-invoking the choose-plan decision
+    procedure under the updated bindings (the paper's start-up
+    decision, re-run mid-flight) and restarting on the re-decided
+    alternative.
+    """
+
+    def __init__(self, message, new_memory_pages, site=None,
+                 operation_index=None):
+        super().__init__(message, site=site, operation_index=operation_index)
+        self.new_memory_pages = int(new_memory_pages)
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query deadline expired at a cooperative cancellation point.
+
+    The executor checks deadlines at iterator open and at every
+    row/batch boundary of the drive loop, so cancellation is prompt
+    (within one batch) without preemption.  The error carries the
+    partial accounting of the cancelled run: ``elapsed_seconds``,
+    ``rows_produced``, the ``io_snapshot`` delta charged before the
+    cut, and the partial ``trace`` when the run was traced.
+    """
+
+    def __init__(self, message, deadline_seconds=None, elapsed_seconds=None):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.rows_produced = 0
+        self.io_snapshot = None
+        self.trace = None
+
+
+class ServiceExecutionError(ExecutionError):
+    """A service invocation failed after resilience was exhausted.
+
+    Wraps the underlying fault so callers holding only a future still
+    learn *which* request died: the request ``tag``, ``query_name``,
+    whether the plan came from the cache (``cache_hit``), and how many
+    execution ``attempts`` were made.  The original error is chained
+    as ``__cause__`` and kept as ``cause``.
+    """
+
+    def __init__(self, message, tag=None, query_name=None, cache_hit=None,
+                 attempts=None, cause=None):
+        super().__init__(message)
+        self.tag = tag
+        self.query_name = query_name
+        self.cache_hit = cache_hit
+        self.attempts = attempts
+        self.cause = cause

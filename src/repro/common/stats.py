@@ -1,0 +1,21 @@
+"""Small shared statistics helpers.
+
+Summary statistics are needed by several layers — the service's
+latency snapshot, the accuracy reports, and the benchmarks' summary
+records — so the implementation lives here rather than in any one of
+them.
+"""
+
+
+def percentile(values, fraction):
+    """Linear-interpolation percentile of a non-empty value list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

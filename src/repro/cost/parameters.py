@@ -133,6 +133,10 @@ class Bindings:
         self._parameters = dict(parameters or {})
         self._variables = dict(variables or {})
 
+    def copy(self):
+        """Independent copy; rebinding it leaves the original intact."""
+        return Bindings(self._parameters, self._variables)
+
     # -- cost-model parameters -----------------------------------------
 
     def bind(self, name, value):

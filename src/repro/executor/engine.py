@@ -8,7 +8,7 @@ architecture.
 
 import time
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, QueryTimeoutError
 from repro.cost.formulas import CostModel
 from repro.cost.parameters import (
     Bindings,
@@ -18,6 +18,7 @@ from repro.cost.parameters import (
 )
 from repro.executor.iterators import build_iterator
 from repro.executor.vectorized import DEFAULT_BATCH_SIZE, build_batch_iterator
+from repro.resilience.deadline import Deadline
 
 #: Valid values of an execution context's ``execution_mode``.
 EXECUTION_MODES = ("row", "batch")
@@ -28,7 +29,7 @@ class ExecutionContext:
 
     def __init__(self, database, bindings=None, parameter_space=None,
                  use_buffer_pool=False, tracer=None,
-                 execution_mode="row", batch_size=None):
+                 execution_mode="row", batch_size=None, deadline=None):
         if execution_mode not in EXECUTION_MODES:
             raise ExecutionError(
                 "execution_mode must be one of %r, got %r"
@@ -50,6 +51,10 @@ class ExecutionContext:
         #: Optional :class:`~repro.observability.trace.Tracer`; iterators
         #: record per-operator spans when one is attached.
         self.tracer = tracer
+        #: Optional :class:`~repro.resilience.deadline.Deadline`
+        #: (accepts plain seconds); iterators check it at open and the
+        #: drive loop checks it at every row/batch boundary.
+        self.deadline = Deadline.ensure(deadline)
         self._cost_model = None
         #: choose-plan decisions made during this execution:
         #: list of (choose_plan_node, chosen_alternative)
@@ -58,7 +63,10 @@ class ExecutionContext:
             from repro.storage.buffer import BufferPool
 
             #: LRU pool sized by the run-time memory grant ([MaL89]).
-            self.buffer_pool = BufferPool(self.memory_pages)
+            self.buffer_pool = BufferPool(
+                self.memory_pages,
+                fault_injector=getattr(database, "fault_injector", None),
+            )
         else:
             self.buffer_pool = None
 
@@ -69,12 +77,22 @@ class ExecutionContext:
 
     @property
     def memory_pages(self):
-        """Memory available to hash joins and sorts, in pages."""
+        """Memory available to hash joins and sorts, in pages.
+
+        An installed fault injector may report a *smaller* grant once
+        a memory-drop stage has fired — the mid-query divergence the
+        service's degradation path re-decides choose-plans under.
+        """
         if self.bindings.has_parameter(MEMORY_PARAMETER):
-            return int(self.bindings.parameter(MEMORY_PARAMETER))
-        if MEMORY_PARAMETER in self.parameter_space:
-            return int(self.parameter_space.get(MEMORY_PARAMETER).expected)
-        return 64
+            pages = int(self.bindings.parameter(MEMORY_PARAMETER))
+        elif MEMORY_PARAMETER in self.parameter_space:
+            pages = int(self.parameter_space.get(MEMORY_PARAMETER).expected)
+        else:
+            pages = 64
+        injector = getattr(self.database, "fault_injector", None)
+        if injector is not None:
+            pages = injector.current_memory_pages(pages)
+        return pages
 
     @property
     def cost_model(self):
@@ -126,7 +144,7 @@ class ExecutionResult:
 
 def execute_plan(plan, database, bindings=None, parameter_space=None,
                  use_buffer_pool=False, tracer=None,
-                 execution_mode="row", batch_size=None):
+                 execution_mode="row", batch_size=None, deadline=None):
     """Run a physical plan to completion and return the result.
 
     Unbound user variables in predicates raise
@@ -147,6 +165,15 @@ def execute_plan(plan, database, bindings=None, parameter_space=None,
     estimated-vs-actual ``profile``; tracing never changes the records
     produced or the simulated I/O charged (the differential tests'
     invariant).
+
+    ``deadline`` (seconds, or a prebuilt
+    :class:`~repro.resilience.deadline.Deadline`) arms cooperative
+    cancellation: iterators check it once at open and the drive loop
+    checks it at every row (row mode) or batch (batch mode) boundary.
+    Expiry raises :class:`~repro.common.errors.QueryTimeoutError`
+    carrying the rows produced so far, the I/O charged so far, and the
+    partial trace when a tracer is attached; the plan's iterators are
+    closed before the error propagates, so no operator state leaks.
     """
     if plan is None:
         raise ExecutionError("cannot execute an empty plan")
@@ -154,15 +181,51 @@ def execute_plan(plan, database, bindings=None, parameter_space=None,
                                use_buffer_pool=use_buffer_pool,
                                tracer=tracer,
                                execution_mode=execution_mode,
-                               batch_size=batch_size)
+                               batch_size=batch_size,
+                               deadline=deadline)
+    deadline = context.deadline
     before = context.io_stats.snapshot()
     started = time.perf_counter()
-    if context.execution_mode == "batch":
-        records = []
-        for batch in build_batch_iterator(plan, context).batches():
-            records.extend(batch)
-    else:
-        records = list(build_iterator(plan, context))
+    records = []
+    try:
+        if context.execution_mode == "batch":
+            root = build_batch_iterator(plan, context)
+            if deadline is None:
+                for batch in root.batches():
+                    records.extend(batch)
+            else:
+                stream = root.batches()
+                try:
+                    while True:
+                        deadline.check()
+                        batch = next(stream, None)
+                        if batch is None:
+                            break
+                        records.extend(batch)
+                finally:
+                    root.close()
+        else:
+            root = build_iterator(plan, context)
+            if deadline is None:
+                records = list(root)
+            else:
+                stream = iter(root)
+                try:
+                    while True:
+                        deadline.check()
+                        record = next(stream, None)
+                        if record is None:
+                            break
+                        records.append(record)
+                finally:
+                    root.close()
+    except QueryTimeoutError as error:
+        after = context.io_stats.snapshot()
+        error.rows_produced = len(records)
+        error.io_snapshot = {key: after[key] - before[key] for key in after}
+        if tracer is not None:
+            error.trace = tracer.trace()
+        raise
     elapsed = time.perf_counter() - started
     after = context.io_stats.snapshot()
     delta = {key: after[key] - before[key] for key in after}

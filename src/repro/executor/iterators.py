@@ -66,8 +66,14 @@ class PlanIterator:
         With a tracer attached to the context the record stream is
         wrapped in a counting span; without one (the default) this is
         a single ``is None`` test and the per-record path is untouched.
+        Checks the context deadline, so an expired query cancels before
+        any operator does work (blocking operators like sort and hash
+        join do all their work at first next, after open).
         """
         if self._stream is None:
+            deadline = self.context.deadline
+            if deadline is not None:
+                deadline.check()
             tracer = self.context.tracer
             if tracer is None:
                 self._stream = self._produce()
@@ -120,7 +126,9 @@ def _scan_buffer(context, relation_name, attribute):
     if index_info is not None and index_info.clustered:
         from repro.storage.buffer import BufferPool
 
-        return BufferPool(1)
+        return BufferPool(
+            1, fault_injector=getattr(context.database, "fault_injector", None)
+        )
     return None
 
 

@@ -107,8 +107,15 @@ class BatchPlanIterator:
         self._stream = None
 
     def open(self):
-        """Prepare the batch stream; idempotent."""
+        """Prepare the batch stream; idempotent.
+
+        Checks the context deadline first, mirroring the row engine:
+        an expired query cancels at open, before any batch flows.
+        """
         if self._stream is None:
+            deadline = self.context.deadline
+            if deadline is not None:
+                deadline.check()
             tracer = self.context.tracer
             if tracer is None:
                 self._stream = self._produce_batches()

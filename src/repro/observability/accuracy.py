@@ -18,7 +18,7 @@ import json
 from repro.catalog import populate_database
 from repro.observability.explain import explain_analyze
 from repro.optimizer.optimizer import optimize_dynamic, optimize_static
-from repro.service.service import percentile
+from repro.common.stats import percentile
 from repro.storage import Database
 from repro.workloads import binding_series, paper_workload
 

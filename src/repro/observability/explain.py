@@ -171,7 +171,7 @@ def build_profile(trace, cost_model):
 
 def explain_analyze(plan, database, bindings=None, parameter_space=None,
                     use_buffer_pool=False, execution_mode="row",
-                    batch_size=None):
+                    batch_size=None, deadline=None):
     """Execute ``plan`` under a fresh tracer; returns the result.
 
     The returned :class:`~repro.executor.engine.ExecutionResult`
@@ -182,6 +182,11 @@ def explain_analyze(plan, database, bindings=None, parameter_space=None,
     the engine (``"row"`` or ``"batch"``); spans report exact row
     counts either way, so the rendered cardinalities and q-errors are
     identical across modes.
+
+    ``deadline`` (seconds or a prebuilt deadline) arms cooperative
+    cancellation; on expiry the raised
+    :class:`~repro.common.errors.QueryTimeoutError` still carries the
+    *partial* trace, so a timed-out query remains explainable.
     """
     from repro.executor.engine import execute_plan
 
@@ -194,6 +199,7 @@ def explain_analyze(plan, database, bindings=None, parameter_space=None,
         tracer=Tracer(),
         execution_mode=execution_mode,
         batch_size=batch_size,
+        deadline=deadline,
     )
 
 

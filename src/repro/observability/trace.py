@@ -123,6 +123,26 @@ class PhaseSpan:
         return "PhaseSpan(%s, %.6fs)" % (self.name, self.seconds)
 
 
+class TraceEvent:
+    """One discrete, levelled occurrence noted during a traced activity.
+
+    Events record things spans cannot: a decision-procedure
+    compilation falling back to the interpreter, a retry after an
+    injected fault, a mid-run plan degradation.  ``level`` is
+    ``"info"`` or ``"warn"``; ``meta`` carries free-form details.
+    """
+
+    __slots__ = ("name", "level", "meta")
+
+    def __init__(self, name, level="info", meta=None):
+        self.name = name
+        self.level = level
+        self.meta = dict(meta or {})
+
+    def __repr__(self):
+        return "TraceEvent(%s, %s)" % (self.name, self.level)
+
+
 class _TracedStreamBase:
     """Iterator wrapper accumulating span counters per advance.
 
@@ -210,6 +230,7 @@ class Tracer:
     def __init__(self):
         self.spans = []
         self.phases = []
+        self.events = []
         self._current = None
 
     # ------------------------------------------------------------------
@@ -295,12 +316,22 @@ class Tracer:
         return sum(span.seconds for span in self.phases if span.name == name)
 
     # ------------------------------------------------------------------
+    # Events (driven by the service's resilience paths)
+    # ------------------------------------------------------------------
+
+    def event(self, name, level="info", **meta):
+        """Record one discrete :class:`TraceEvent`; returns it."""
+        event = TraceEvent(name, level, meta)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 
     def trace(self):
         """The collected operator spans as an :class:`ExecutionTrace`."""
-        return ExecutionTrace(self.spans, self.phases)
+        return ExecutionTrace(self.spans, self.phases, self.events)
 
     def __repr__(self):
         return "Tracer(%d spans, %d phases)" % (len(self.spans), len(self.phases))
@@ -309,9 +340,10 @@ class Tracer:
 class ExecutionTrace:
     """The span forest of one execution, with derived aggregates."""
 
-    def __init__(self, spans, phases=()):
+    def __init__(self, spans, phases=(), events=()):
         self.spans = list(spans)
         self.phases = list(phases)
+        self.events = list(events)
 
     @property
     def roots(self):

@@ -1,0 +1,43 @@
+"""Fault injection, deadlines, and graceful degradation.
+
+The robustness subsystem: a deterministic fault-injection harness for
+the storage layer (:mod:`repro.resilience.faults`), cooperative query
+deadlines (:mod:`repro.resilience.deadline`), the retry/circuit-
+breaker/degradation policy the service runs under
+(:mod:`repro.resilience.policy`), and the chaos harness that replays
+workloads under named fault profiles and checks the results against
+fault-free runs (:mod:`repro.resilience.chaos`).
+"""
+
+from repro.resilience.deadline import CountingClock, Deadline
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FAULT_SITES,
+    FaultInjector,
+    FaultProfile,
+    FaultRule,
+    MemoryDropStage,
+    fault_profile,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CountingClock",
+    "Deadline",
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRule",
+    "MemoryDropStage",
+    "fault_profile",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "RetryPolicy",
+]

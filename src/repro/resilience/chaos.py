@@ -1,0 +1,266 @@
+"""The chaos harness: replay workloads under a named fault profile.
+
+For each paper query the harness runs one invocation twice, from
+identically seeded databases: once fault-free (the baseline) and once
+through a :class:`~repro.service.service.QueryService` with a
+:class:`~repro.resilience.faults.FaultInjector` installed.  A
+*recoverable* profile must complete — via retries and mid-run plan
+degradation — with the same result multiset as the baseline; a
+profile containing permanent faults must fail fast with the typed
+error after at most one execution attempt.
+
+Determinism is the contract the CI chaos-smoke job enforces: the
+report (:meth:`ChaosReport.to_json`) contains no wall-clock values,
+backoff sleeps are disabled, and every random draw is seeded, so two
+runs with the same profile, seed, and mode produce byte-identical
+reports.
+"""
+
+import hashlib
+import json
+
+from repro.catalog import populate_database
+from repro.common.errors import ServiceExecutionError
+from repro.resilience.faults import FaultInjector, fault_profile
+from repro.resilience.policy import ResiliencePolicy, RetryPolicy
+from repro.storage.database import Database
+from repro.workloads import paper_workload, random_bindings
+
+#: Queries the harness replays when none are named.
+DEFAULT_QUERIES = (1, 2, 3, 4, 5)
+
+
+def rows_digest(records):
+    """Order-insensitive SHA-256 digest of a result's rows.
+
+    Degradation may finish a query on a *different* (re-decided or
+    fallback) plan whose join order emits the same rows in a different
+    sequence, so equivalence is over the result multiset: each row is
+    serialized from its sorted field items, the serializations are
+    sorted, and the concatenation is hashed.
+    """
+    serialized = sorted(
+        repr(sorted(record.as_dict().items())) for record in records
+    )
+    digest = hashlib.sha256()
+    for row in serialized:
+        digest.update(row.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class QueryOutcome:
+    """What one query did under the profile, versus its baseline."""
+
+    def __init__(self, number, name, expected, baseline_rows,
+                 baseline_digest):
+        self.number = number
+        self.name = name
+        #: ``"complete"`` or ``"fail-fast"``.
+        self.expected = expected
+        self.baseline_rows = baseline_rows
+        self.baseline_digest = baseline_digest
+        self.outcome = None
+        self.rows = None
+        self.digest = None
+        self.rows_match = None
+        self.failure = None
+        self.attempts = None
+        self.injector = None
+        self.resilience = None
+
+    @property
+    def passed(self):
+        """Whether the query met the profile's expectation."""
+        if self.expected == "complete":
+            return self.outcome == "completed" and bool(self.rows_match)
+        return (
+            self.outcome == "failed"
+            and self.failure is not None
+            and self.failure["type"] == "PermanentIOError"
+            and self.attempts == 1
+        )
+
+    def to_dict(self):
+        """Plain-data form, deterministic for a given profile and seed."""
+        return {
+            "number": self.number,
+            "query": self.name,
+            "expected": self.expected,
+            "outcome": self.outcome,
+            "baseline_rows": self.baseline_rows,
+            "baseline_digest": self.baseline_digest,
+            "rows": self.rows,
+            "digest": self.digest,
+            "rows_match": self.rows_match,
+            "failure": self.failure,
+            "attempts": self.attempts,
+            "injector": self.injector,
+            "resilience": self.resilience,
+            "passed": self.passed,
+        }
+
+
+class ChaosReport:
+    """The harness's verdict over a whole workload."""
+
+    def __init__(self, profile, seed, execution_mode, outcomes):
+        self.profile = profile
+        self.seed = seed
+        self.execution_mode = execution_mode
+        self.outcomes = list(outcomes)
+
+    @property
+    def passed(self):
+        """Whether every query met the profile's expectation."""
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def to_dict(self):
+        """Plain-data form (no wall-clock values anywhere)."""
+        return {
+            "profile": self.profile.to_dict(),
+            "seed": self.seed,
+            "execution_mode": self.execution_mode,
+            "queries": [outcome.to_dict() for outcome in self.outcomes],
+            "passed": self.passed,
+        }
+
+    def to_json(self):
+        """Canonical JSON: sorted keys, so equal reports are equal bytes."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self):
+        """Human-readable summary table."""
+        lines = [
+            "chaos profile %r (seed %d, %s mode): %s"
+            % (
+                self.profile.name,
+                self.seed,
+                self.execution_mode,
+                "PASS" if self.passed else "FAIL",
+            )
+        ]
+        for outcome in self.outcomes:
+            if outcome.outcome == "completed":
+                detail = "%d rows, match=%s" % (
+                    outcome.rows,
+                    outcome.rows_match,
+                )
+            else:
+                detail = "failed: %s after %r attempt(s)" % (
+                    outcome.failure["type"],
+                    outcome.attempts,
+                )
+            counts = outcome.resilience or {}
+            lines.append(
+                "  %-12s %-9s [%s]  %s  "
+                "(retries=%d degradations=%d fallbacks=%d timeouts=%d)"
+                % (
+                    outcome.name,
+                    "pass" if outcome.passed else "FAIL",
+                    outcome.expected,
+                    detail,
+                    counts.get("transient_retries", 0),
+                    counts.get("degradations", 0),
+                    counts.get("fallback_activations", 0),
+                    counts.get("timeouts", 0),
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ChaosReport(%r, %d queries, passed=%s)" % (
+            self.profile.name,
+            len(self.outcomes),
+            self.passed,
+        )
+
+
+def _fresh_service(workload, data_seed, resilience):
+    """A single-use service over a freshly populated database."""
+    from repro.service.service import QueryService
+
+    database = Database(workload.catalog)
+    populate_database(database, seed=data_seed)
+    service = QueryService(
+        database,
+        max_workers=1,
+        execute=True,
+        resilience=resilience,
+    )
+    return database, service
+
+
+def run_chaos(profile_name, query_numbers=DEFAULT_QUERIES, seed=0,
+              execution_mode="row", data_seed=11, max_retries=3,
+              max_degradations=2):
+    """Replay the paper queries under a named profile; a ChaosReport.
+
+    Each query gets its own baseline and faulty databases (identically
+    seeded) and its own injector, so faults in one query cannot leak
+    operations into another.  Backoff delays are zeroed and sleeps are
+    no-ops: the harness tests *outcomes*, not schedules.
+    """
+    profile = fault_profile(profile_name)
+    expects_failure = any(rule.kind == "permanent" for rule in profile.rules)
+    expected = "fail-fast" if expects_failure else "complete"
+    outcomes = []
+    for number in query_numbers:
+        workload = paper_workload(number, memory_uncertain=True)
+        bindings = random_bindings(workload, seed=seed, run_index=0)
+
+        baseline_db, baseline_service = _fresh_service(
+            workload, data_seed, ResiliencePolicy()
+        )
+        try:
+            baseline = baseline_service.run(
+                workload.query, bindings, execution_mode=execution_mode
+            )
+        finally:
+            baseline_service.shutdown()
+        outcome = QueryOutcome(
+            number,
+            workload.name,
+            expected,
+            baseline.execution.row_count,
+            rows_digest(baseline.execution.records),
+        )
+
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(
+                max_retries=max_retries, base_delay=0.0, jitter=0.0, seed=seed
+            ),
+            max_degradations=max_degradations,
+            sleep=lambda _seconds: None,
+        )
+        faulty_db, faulty_service = _fresh_service(
+            workload, data_seed, resilience
+        )
+        injector = faulty_db.install_fault_injector(
+            FaultInjector(profile, seed=seed)
+        )
+        try:
+            try:
+                result = faulty_service.run(
+                    workload.query,
+                    bindings.copy(),
+                    execution_mode=execution_mode,
+                )
+            except ServiceExecutionError as error:
+                outcome.outcome = "failed"
+                outcome.failure = {
+                    "type": type(error.cause).__name__,
+                    "message": str(error.cause),
+                }
+                outcome.attempts = error.attempts
+            else:
+                outcome.outcome = "completed"
+                outcome.rows = result.execution.row_count
+                outcome.digest = rows_digest(result.execution.records)
+                outcome.rows_match = outcome.digest == outcome.baseline_digest
+            outcome.injector = injector.snapshot()
+            outcome.resilience = faulty_service.resilience_counts()
+        finally:
+            faulty_service.shutdown()
+        outcomes.append(outcome)
+    return ChaosReport(profile, seed, execution_mode, outcomes)

@@ -97,6 +97,10 @@ class PlanCacheEntry:
         self.observed = {}
         self.hits = 0
         self.reoptimizations = 0
+        #: Conservative static plan compiled on demand when graceful
+        #: degradation exhausts its restart budget (see
+        #: :mod:`repro.resilience`); ``None`` until first needed.
+        self.fallback_plan = None
         self.lock = threading.RLock()
 
     def install(self, plan, parameter_space, decision=None):

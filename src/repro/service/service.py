@@ -26,37 +26,75 @@ submitted to the pool, so thread scheduling cannot perturb any RNG
 stream (see :mod:`repro.workloads.service`).
 """
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import (
+    ExecutionError,
+    MemoryDropError,
+    OptimizationError,
+    PermanentIOError,
+    QueryTimeoutError,
+    ReproError,
+    ServiceExecutionError,
+    TransientIOError,
+)
+from repro.common.stats import percentile
+from repro.cost.parameters import MEMORY_PARAMETER
 from repro.executor.engine import EXECUTION_MODES, execute_plan
 from repro.executor.startup import activate_plan
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import ResiliencePolicy
 from repro.service.cache import PlanCache
 from repro.service.decision import CompiledDecision, DecisionCompilationError
 
+__all__ = [
+    "QueryService",
+    "ServiceRequest",
+    "ServiceResult",
+    "ServiceStatistics",
+    "percentile",
+]
 
-def percentile(values, fraction):
-    """Linear-interpolation percentile of a non-empty value list."""
-    if not values:
-        raise ValueError("percentile of an empty list")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = fraction * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+logger = logging.getLogger(__name__)
+
+#: Resilience outcome counters the service always tracks (the metrics
+#: registry mirrors them when one is attached).
+RESILIENCE_COUNTERS = (
+    "transient_retries",
+    "permanent_failures",
+    "timeouts",
+    "degradations",
+    "fallback_activations",
+    "breaker_trips",
+    "breaker_short_circuits",
+    "decision_fallbacks",
+)
 
 
 class ServiceRequest:
     """One invocation: a query plus its start-up bindings."""
 
-    __slots__ = ("query", "bindings", "execute", "tag", "execution_mode")
+    __slots__ = (
+        "query",
+        "bindings",
+        "execute",
+        "tag",
+        "execution_mode",
+        "deadline_seconds",
+    )
 
-    def __init__(self, query, bindings, execute=None, tag=None, execution_mode=None):
+    def __init__(
+        self,
+        query,
+        bindings,
+        execute=None,
+        tag=None,
+        execution_mode=None,
+        deadline_seconds=None,
+    ):
         self.query = query
         self.bindings = bindings
         #: None inherits the service default; True/False overrides it.
@@ -65,6 +103,9 @@ class ServiceRequest:
         #: None inherits the service default; ``"row"``/``"batch"``
         #: overrides it for this invocation alone.
         self.execution_mode = execution_mode
+        #: Per-request deadline in seconds; None inherits the
+        #: resilience policy's service-wide default.
+        self.deadline_seconds = deadline_seconds
 
     def __repr__(self):
         return "ServiceRequest(%s, tag=%r)" % (self.query.name, self.tag)
@@ -139,12 +180,23 @@ class ServiceStatistics:
         "optimize_mean",
         "optimize_count",
         "amortization",
+        "resilience",
     )
 
-    def __init__(self, requests, cache, startup_seconds, optimize_seconds):
+    def __init__(
+        self,
+        requests,
+        cache,
+        startup_seconds,
+        optimize_seconds,
+        resilience=None,
+    ):
         self.requests = requests
         #: Snapshot dict of the plan cache's counters.
         self.cache = cache
+        #: Snapshot dict of the resilience outcome counters
+        #: (see :data:`RESILIENCE_COUNTERS`).
+        self.resilience = dict(resilience or {})
         self.startup_p50 = percentile(startup_seconds, 0.50) if startup_seconds else 0.0
         self.startup_p95 = percentile(startup_seconds, 0.95) if startup_seconds else 0.0
         self.startup_mean = (
@@ -229,6 +281,13 @@ class QueryService:
     batch_size:
         Records per batch in ``"batch"`` mode; ``None`` uses the
         engine default.
+    resilience:
+        A :class:`~repro.resilience.policy.ResiliencePolicy` bundling
+        the transient-fault retry policy, the optional per-signature
+        circuit breaker on staleness-driven re-optimization, the
+        mid-run degradation budget, and the default query deadline.
+        ``None`` uses the policy defaults (retries on, breaker off, no
+        deadline), which leave fault-free behaviour untouched.
     """
 
     def __init__(
@@ -245,6 +304,7 @@ class QueryService:
         tracer=None,
         execution_mode="row",
         batch_size=None,
+        resilience=None,
     ):
         if optimize is None:
             from repro.optimizer.optimizer import optimize_dynamic
@@ -266,6 +326,7 @@ class QueryService:
         self.compiled = bool(compiled)
         self.metrics = metrics
         self.tracer = tracer
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
         self._optimize = optimize
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -275,6 +336,7 @@ class QueryService:
         self._startup_seconds = []
         self._optimize_seconds = []
         self._requests = 0
+        self._resilience_counts = {name: 0 for name in RESILIENCE_COUNTERS}
         #: One token per in-flight request; list append/pop are atomic
         #: under the GIL, so ``len`` is an exact lock-free gauge.
         self._inflight_tokens = []
@@ -304,30 +366,88 @@ class QueryService:
                 "Invocations currently running",
                 callback=self._inflight_tokens.__len__,
             )
+            self._m_resilience = {
+                name: metrics.counter(
+                    "service_%s_total" % name,
+                    "Resilience outcome: %s" % name.replace("_", " "),
+                )
+                for name in RESILIENCE_COUNTERS
+            }
         else:
             self._m_reoptimizations = self._m_rows = None
             self._m_startup = self._m_optimize = None
+            self._m_resilience = None
 
     def _request_count(self):
         """Exact served-request total (pull-style metric callback)."""
         with self._stats_lock:
             return self._requests
 
+    def _count(self, name, amount=1):
+        """Bump one resilience counter (and its mirrored metric)."""
+        with self._stats_lock:
+            self._resilience_counts[name] += amount
+        if self._m_resilience is not None:
+            self._m_resilience[name].inc(amount)
+
+    def resilience_counts(self):
+        """Snapshot dict of the resilience outcome counters."""
+        with self._stats_lock:
+            return dict(self._resilience_counts)
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
-    def run(self, query, bindings, execute=None, tag=None, execution_mode=None):
-        """Serve one invocation synchronously on the calling thread."""
+    def run(
+        self,
+        query,
+        bindings,
+        execute=None,
+        tag=None,
+        execution_mode=None,
+        deadline_seconds=None,
+    ):
+        """Serve one invocation synchronously on the calling thread.
+
+        Library errors (:class:`~repro.common.errors.ReproError`) that
+        survive the resilience machinery are wrapped in
+        :class:`~repro.common.errors.ServiceExecutionError` carrying
+        the request tag, query name, cache-hit state, and attempt
+        count, with the original error chained as ``__cause__``.
+        """
         self._inflight_tokens.append(None)
+        info = {"cache_hit": None, "attempts": 0}
         try:
-            return self._run(query, bindings, execute, tag, execution_mode)
+            return self._run(
+                query, bindings, execute, tag, execution_mode, deadline_seconds, info
+            )
+        except ReproError as error:
+            raise ServiceExecutionError(
+                "request tag=%r query=%r failed: %s" % (tag, query.name, error),
+                tag=tag,
+                query_name=query.name,
+                cache_hit=info["cache_hit"],
+                attempts=info["attempts"],
+                cause=error,
+            ) from error
         finally:
             self._inflight_tokens.pop()
 
-    def _run(self, query, bindings, execute, tag, execution_mode=None):
+    def _run(
+        self,
+        query,
+        bindings,
+        execute,
+        tag,
+        execution_mode=None,
+        deadline_seconds=None,
+        info=None,
+    ):
         started = time.perf_counter()
         entry, cache_hit = self.cache.entry_for(query)
+        if info is not None:
+            info["cache_hit"] = cache_hit
         optimize_seconds = 0.0
 
         if not cache_hit:
@@ -336,7 +456,18 @@ class QueryService:
                     optimize_seconds += self._compile(entry, entry.query)
 
         reoptimized = False
+        breaker = self.resilience.breaker
         stale = entry.stale_parameters(bindings)
+        if stale and breaker is not None and not breaker.allow(entry.digest):
+            # Breaker open: serve the cached plan (still correct, its
+            # choose-plans simply were not optimized for these bounds)
+            # instead of paying yet another re-optimization.
+            self._count("breaker_short_circuits")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "breaker_short_circuit", level="warn", digest=entry.digest
+                )
+            stale = []
         if stale:
             with entry.lock:
                 stale = entry.stale_parameters(bindings)
@@ -346,37 +477,40 @@ class QueryService:
                     entry.reoptimizations += 1
                     self.cache.record_reoptimization()
                     reoptimized = True
+            if reoptimized and breaker is not None:
+                if breaker.record_reoptimization(entry.digest):
+                    self._count("breaker_trips")
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "breaker_trip", level="warn", digest=entry.digest
+                        )
+        elif breaker is not None:
+            breaker.record_success(entry.digest)
         entry.observe(bindings)
 
         plan, parameter_space, decision = entry.snapshot()
         decision_started = time.perf_counter()
-        if decision is not None:
-            chosen, report = decision.choose(bindings)
-        else:
-            chosen, report = activate_plan(
-                plan,
-                self.catalog,
-                parameter_space,
-                bindings,
-                branch_and_bound=self.branch_and_bound,
-                validate=False,
-            )
+        chosen, report = self._decide(decision, plan, parameter_space, bindings)
         startup_seconds = time.perf_counter() - decision_started
 
         execution = None
         do_execute = self.default_execute if execute is None else execute
         if do_execute:
             mode = self.execution_mode if execution_mode is None else execution_mode
-            with self._db_lock:
-                execution = execute_plan(
-                    chosen,
-                    self.database,
-                    bindings,
-                    parameter_space,
-                    tracer=self.tracer,
-                    execution_mode=mode,
-                    batch_size=self.batch_size,
-                )
+            if deadline_seconds is None:
+                deadline_seconds = self.resilience.deadline_seconds
+            execution, chosen, report = self._execute_with_resilience(
+                entry,
+                chosen,
+                report,
+                decision,
+                plan,
+                parameter_space,
+                bindings,
+                mode,
+                Deadline.ensure(deadline_seconds),
+                info,
+            )
 
         total_seconds = time.perf_counter() - started
         with self._stats_lock:
@@ -418,15 +552,189 @@ class QueryService:
         if self.compiled:
             try:
                 decision = CompiledDecision(plan, self.catalog, query.parameter_space)
-            except DecisionCompilationError:
+            except DecisionCompilationError as error:
+                # The interpreted activate_plan path makes identical
+                # decisions, so this is safe — but it silently costs
+                # start-up latency on every later invocation, so it is
+                # counted and logged instead of swallowed.
+                self._count("decision_fallbacks")
+                logger.warning(
+                    "decision compilation for query %r fell back to the "
+                    "interpreter: %s",
+                    query.name,
+                    error,
+                )
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "decision_compile_fallback",
+                        level="warn",
+                        query=query.name,
+                        reason=str(error),
+                    )
                 decision = None
         entry.install(plan, query.parameter_space, decision)
         return time.perf_counter() - compile_started
 
-    def submit(self, query, bindings, execute=None, tag=None, execution_mode=None):
+    def _decide(self, decision, plan, parameter_space, bindings):
+        """The start-up decision: compiled program or interpreted pass."""
+        if decision is not None:
+            return decision.choose(bindings)
+        return activate_plan(
+            plan,
+            self.catalog,
+            parameter_space,
+            bindings,
+            branch_and_bound=self.branch_and_bound,
+            validate=False,
+        )
+
+    def _execute_with_resilience(
+        self,
+        entry,
+        chosen,
+        report,
+        decision,
+        plan,
+        parameter_space,
+        bindings,
+        mode,
+        deadline,
+        info,
+    ):
+        """Run the chosen plan, retrying and degrading per the policy.
+
+        * transient faults retry with exponential backoff (sleeping
+          outside the database lock) up to the retry budget;
+        * a mid-run memory drop re-invokes the choose-plan decision
+          procedure under the shrunk grant — the paper's start-up
+          decision, re-run mid-flight — and restarts on the re-decided
+          alternative; past ``max_degradations`` restarts the service
+          activates the conservative static fallback plan instead;
+        * permanent faults and deadline expiry fail fast, typed.
+
+        Returns ``(execution, chosen, report)`` reflecting the plan
+        that actually completed.
+        """
+        retry = self.resilience.retry
+        transient_retries = 0
+        degradations = 0
+        while True:
+            if info is not None:
+                info["attempts"] += 1
+            try:
+                with self._db_lock:
+                    execution = execute_plan(
+                        chosen,
+                        self.database,
+                        bindings,
+                        parameter_space,
+                        tracer=self.tracer,
+                        execution_mode=mode,
+                        batch_size=self.batch_size,
+                        deadline=deadline,
+                    )
+                return execution, chosen, report
+            except TransientIOError as error:
+                if transient_retries >= retry.max_retries:
+                    raise
+                transient_retries += 1
+                self._count("transient_retries")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "transient_retry",
+                        level="warn",
+                        site=error.site,
+                        operation_index=error.operation_index,
+                        attempt=transient_retries,
+                    )
+                self.resilience.sleep(retry.delay(transient_retries))
+            except MemoryDropError as error:
+                degradations += 1
+                self._count("degradations")
+                bindings = bindings.copy().bind(
+                    MEMORY_PARAMETER, error.new_memory_pages
+                )
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "memory_drop_degradation",
+                        level="warn",
+                        new_memory_pages=error.new_memory_pages,
+                        operation_index=error.operation_index,
+                        degradations=degradations,
+                    )
+                fallback = None
+                if degradations > self.resilience.max_degradations:
+                    fallback = self._fallback_plan(entry)
+                if fallback is not None:
+                    chosen, report = fallback, None
+                    self._count("fallback_activations")
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "static_fallback",
+                            level="warn",
+                            digest=entry.digest,
+                        )
+                else:
+                    chosen, report = self._decide(
+                        decision, plan, parameter_space, bindings
+                    )
+            except PermanentIOError as error:
+                self._count("permanent_failures")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "permanent_failure",
+                        level="warn",
+                        site=error.site,
+                        operation_index=error.operation_index,
+                    )
+                raise
+            except QueryTimeoutError as error:
+                self._count("timeouts")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "query_timeout",
+                        level="warn",
+                        deadline_seconds=error.deadline_seconds,
+                        rows_produced=error.rows_produced,
+                    )
+                raise
+
+    def _fallback_plan(self, entry):
+        """The entry's conservative static plan, compiled once.
+
+        Returns ``None`` when static optimization cannot produce one
+        (the caller then keeps re-deciding the dynamic plan instead).
+        """
+        with entry.lock:
+            if entry.fallback_plan is None:
+                from repro.optimizer.optimizer import optimize_static
+
+                try:
+                    entry.fallback_plan = optimize_static(
+                        self.catalog, entry.query
+                    ).plan
+                except OptimizationError:
+                    return None
+            return entry.fallback_plan
+
+    def submit(
+        self,
+        query,
+        bindings,
+        execute=None,
+        tag=None,
+        execution_mode=None,
+        deadline_seconds=None,
+    ):
         """Serve one invocation on the pool; returns a Future."""
         return self._pool.submit(
-            self.run, query, bindings, execute, tag, execution_mode
+            self.run,
+            query,
+            bindings,
+            execute,
+            tag,
+            execution_mode,
+            deadline_seconds,
         )
 
     def run_batch(self, requests):
@@ -443,6 +751,7 @@ class QueryService:
                 request.execute,
                 request.tag,
                 request.execution_mode,
+                request.deadline_seconds,
             )
             for request in requests
         ]
@@ -458,8 +767,13 @@ class QueryService:
             startup = list(self._startup_seconds)
             optimize = list(self._optimize_seconds)
             requests = self._requests
+            resilience = dict(self._resilience_counts)
         return ServiceStatistics(
-            requests, self.cache.stats.snapshot(), startup, optimize
+            requests,
+            self.cache.stats.snapshot(),
+            startup,
+            optimize,
+            resilience,
         )
 
     def shutdown(self, wait=True):

@@ -30,13 +30,18 @@ class _Node:
 class BTree:
     """B+-tree mapping attribute values to RID lists."""
 
-    def __init__(self, attribute_name, io_stats, fan_out=32, clustered=False):
+    def __init__(self, attribute_name, io_stats, fan_out=32, clustered=False,
+                 fault_injector=None):
         if fan_out < 4:
             raise ExecutionError("B-tree fan-out must be at least 4")
         self.attribute_name = attribute_name
         self.io_stats = io_stats
         self.fan_out = fan_out
         self.clustered = clustered
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`;
+        #: consulted once per root-to-leaf descent, before the probe's
+        #: I/O is charged.
+        self.fault_injector = fault_injector
         self._root = _Node(is_leaf=True)
         self._height = 1
         self._entry_count = 0
@@ -176,6 +181,8 @@ class BTree:
         Charges one page read per level (the probe) and counts one
         index probe.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.record("index_probe")
         self.io_stats.charge_index_probe(1)
         node = self._root
         while not node.is_leaf:
@@ -205,6 +212,8 @@ class BTree:
         while not node.is_leaf:
             height += 1
             node = node.children[0]
+        if self.fault_injector is not None:
+            self.fault_injector.record("index_probe", len(keys))
         self.io_stats.charge_index_probe(len(keys))
         self.io_stats.charge_page_reads(height * len(keys))
         root = self._root
@@ -234,6 +243,8 @@ class BTree:
         ``None`` bounds are open.  Charges the initial descent plus one
         page read per additional leaf visited.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.record("index_probe")
         self.io_stats.charge_index_probe(1)
         node = self._root
         while not node.is_leaf:

@@ -16,10 +16,13 @@ from collections import OrderedDict
 class BufferPool:
     """Fixed-capacity LRU cache of page identifiers."""
 
-    def __init__(self, capacity_pages):
+    def __init__(self, capacity_pages, fault_injector=None):
         if capacity_pages < 1:
             raise ValueError("buffer pool needs at least one page frame")
         self.capacity_pages = int(capacity_pages)
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`;
+        #: consulted on every frame access, before hit/miss accounting.
+        self.fault_injector = fault_injector
         self._frames = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -31,6 +34,8 @@ class BufferPool:
         ``page_key`` is any hashable page identifier, conventionally
         ``(relation_name, page_number)``.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.record("buffer_access")
         if page_key in self._frames:
             self._frames.move_to_end(page_key)
             self.hits += 1

@@ -18,6 +18,10 @@ class Database:
     def __init__(self, catalog, io_stats=None):
         self.catalog = catalog
         self.io_stats = io_stats if io_stats is not None else IOStatistics()
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`
+        #: propagated to every stored structure; install and remove it
+        #: with :meth:`install_fault_injector`.
+        self.fault_injector = None
         self._heaps = {}
         self._btrees = {}
 
@@ -30,14 +34,33 @@ class Database:
         schema = self.catalog.schema(relation_name)
         if relation_name in self._heaps:
             raise CatalogError("relation %r already stored" % relation_name)
-        self._heaps[relation_name] = HeapFile(schema, self.io_stats)
+        self._heaps[relation_name] = HeapFile(
+            schema, self.io_stats, fault_injector=self.fault_injector
+        )
         self._btrees[relation_name] = {}
         for index_info in self.catalog.indexes_for(relation_name):
             self._btrees[relation_name][index_info.attribute_name] = BTree(
                 index_info.attribute_name,
                 self.io_stats,
                 clustered=index_info.clustered,
+                fault_injector=self.fault_injector,
             )
+
+    def install_fault_injector(self, injector):
+        """Attach (or with ``None`` detach) a fault injector everywhere.
+
+        Propagates to every existing heap file and B-tree and to
+        structures created later, so one call arms the whole stored
+        database; execution contexts read the attribute for buffer
+        pools and memory-pressure checks.
+        """
+        self.fault_injector = injector
+        for heap in self._heaps.values():
+            heap.fault_injector = injector
+        for btrees in self._btrees.values():
+            for btree in btrees.values():
+                btree.fault_injector = injector
+        return injector
 
     def load(self, relation_name, rows):
         """Bulk-load rows into a relation, maintaining all its indexes.

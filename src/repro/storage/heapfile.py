@@ -16,12 +16,17 @@ from repro.storage.records import Record
 class HeapFile:
     """Paged heap storage for the records of one relation."""
 
-    def __init__(self, schema, io_stats, records_per_page=RECORDS_PER_PAGE):
+    def __init__(self, schema, io_stats, records_per_page=RECORDS_PER_PAGE,
+                 fault_injector=None):
         if records_per_page <= 0:
             raise ExecutionError("records_per_page must be positive")
         self.schema = schema
         self.io_stats = io_stats
         self.records_per_page = records_per_page
+        #: Optional :class:`~repro.resilience.faults.FaultInjector`;
+        #: consulted before every simulated device access, so an
+        #: injected fault aborts the operation before its I/O charge.
+        self.fault_injector = fault_injector
         self._pages = []
 
     # ------------------------------------------------------------------
@@ -50,6 +55,8 @@ class HeapFile:
                 value = fields[qualified_name]
             qualified["%s.%s" % (self.schema.relation_name, name)] = value
         if not self._pages or len(self._pages[-1]) >= self.records_per_page:
+            if self.fault_injector is not None:
+                self.fault_injector.record("heap_write")
             self._pages.append([])
             self.io_stats.charge_page_writes(1)
         page_number = len(self._pages) - 1
@@ -86,6 +93,8 @@ class HeapFile:
             if buffer_pool is None or not buffer_pool.access(
                 (self.schema.relation_name, page_number)
             ):
+                if self.fault_injector is not None:
+                    self.fault_injector.record("heap_read")
                 self.io_stats.charge_page_reads(1)
             for record in page:
                 self.io_stats.charge_records(1)
@@ -113,12 +122,16 @@ class HeapFile:
                 page_count += 1
                 batch.extend(page)
                 if len(batch) >= batch_size:
+                    if self.fault_injector is not None:
+                        self.fault_injector.record("heap_read", page_count)
                     self.io_stats.charge_page_reads(page_count)
                     self.io_stats.charge_records(len(batch))
                     page_count = 0
                     yield batch
                     batch = []
             if batch:
+                if self.fault_injector is not None:
+                    self.fault_injector.record("heap_read", page_count)
                 self.io_stats.charge_page_reads(page_count)
                 self.io_stats.charge_records(len(batch))
                 yield batch
@@ -126,6 +139,8 @@ class HeapFile:
         batch = []
         for page_number, page in enumerate(self._pages):
             if not buffer_pool.access((self.schema.relation_name, page_number)):
+                if self.fault_injector is not None:
+                    self.fault_injector.record("heap_read")
                 self.io_stats.charge_page_reads(1)
             self.io_stats.charge_records(len(page))
             batch.extend(page)
@@ -152,6 +167,8 @@ class HeapFile:
         if buffer_pool is None or not buffer_pool.access(
             (self.schema.relation_name, page_number)
         ):
+            if self.fault_injector is not None:
+                self.fault_injector.record("heap_read")
             self.io_stats.charge_page_reads(1)
         self.io_stats.charge_records(1)
         return record
@@ -173,6 +190,8 @@ class HeapFile:
                 for rid in rids:
                     self.fetch(rid)  # re-raises with the offending RID
                 raise ExecutionError("invalid RID in %r" % (rids,))
+            if self.fault_injector is not None:
+                self.fault_injector.record("heap_read", len(records))
             self.io_stats.charge_page_reads(len(records))
             self.io_stats.charge_records(len(records))
             return records

@@ -1,0 +1,304 @@
+"""Unit tests for the resilience primitives.
+
+Covers the fault-injection harness (rule triggers, limits, memory
+drops, seeded determinism), cooperative deadlines under a counting
+clock, the retry/backoff policy, and the count-based circuit breaker
+— all without a database, driving the injector and clock by hand.
+"""
+
+import pytest
+
+from repro.common import percentile
+from repro.common.errors import (
+    ExecutionError,
+    MemoryDropError,
+    PermanentIOError,
+    QueryTimeoutError,
+    TransientIOError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    CountingClock,
+    Deadline,
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    FaultRule,
+    MemoryDropStage,
+    RetryPolicy,
+    fault_profile,
+)
+
+
+# ----------------------------------------------------------------------
+# Fault rules and profiles
+# ----------------------------------------------------------------------
+
+
+class TestFaultRules:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ExecutionError):
+            FaultRule("disk_seek")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ExecutionError):
+            FaultRule("heap_read", kind="intermittent")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ExecutionError):
+            FaultRule("heap_read", rate=1.5)
+
+    def test_unknown_profile_lists_valid_names(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            fault_profile("nope")
+        for name in FAULT_PROFILES:
+            assert name in str(excinfo.value)
+
+    def test_builtin_profiles_roundtrip_to_dict(self):
+        for name, profile in FAULT_PROFILES.items():
+            data = profile.to_dict()
+            assert data["name"] == name
+            assert isinstance(data["rules"], list)
+            assert isinstance(data["memory_drops"], list)
+
+    def test_memory_stage_rejects_zero_pages(self):
+        with pytest.raises(ExecutionError):
+            MemoryDropStage(10, 0)
+
+
+class TestFaultInjector:
+    def test_at_operations_counts_per_site(self):
+        profile = FaultProfile(
+            "t",
+            rules=(FaultRule("heap_read", at_operations=(2,), limit=1),),
+        )
+        injector = FaultInjector(profile)
+        # Other sites advance the global counter but not the trigger.
+        injector.record("index_probe")
+        injector.record("index_probe")
+        injector.record("heap_read")  # heap_read #1: clean
+        with pytest.raises(TransientIOError) as excinfo:
+            injector.record("heap_read")  # heap_read #2: faults
+        assert excinfo.value.site == "heap_read"
+        assert excinfo.value.operation_index == 4
+        assert injector.injected_transient == 1
+
+    def test_limit_caps_injections(self):
+        profile = FaultProfile(
+            "t",
+            rules=(FaultRule("heap_read", at_operations=(1, 2, 3), limit=2),),
+        )
+        injector = FaultInjector(profile)
+        faults = 0
+        for _ in range(10):
+            try:
+                injector.record("heap_read")
+            except TransientIOError:
+                faults += 1
+        assert faults == 2
+        assert injector.injected_transient == 2
+
+    def test_permanent_kind_raises_permanent_error(self):
+        profile = FaultProfile(
+            "t",
+            rules=(FaultRule("heap_read", kind="permanent",
+                             at_operations=(1,), limit=1),),
+        )
+        with pytest.raises(PermanentIOError):
+            FaultInjector(profile).record("heap_read")
+
+    def test_bulk_record_advances_per_operation(self):
+        profile = FaultProfile(
+            "t",
+            rules=(FaultRule("heap_read", at_operations=(3,), limit=1),),
+        )
+        injector = FaultInjector(profile)
+        with pytest.raises(TransientIOError) as excinfo:
+            injector.record("heap_read", 5)
+        # The fault aborts the call at the 3rd observed operation.
+        assert excinfo.value.operation_index == 3
+        assert injector.operations == 3
+
+    def test_memory_drop_fires_once_and_shrinks_grant(self):
+        profile = FaultProfile(
+            "t", memory_drops=(MemoryDropStage(2, 4),)
+        )
+        injector = FaultInjector(profile)
+        injector.record("heap_read")
+        assert injector.current_memory_pages(64) == 64
+        with pytest.raises(MemoryDropError) as excinfo:
+            injector.record("heap_read")
+        assert excinfo.value.new_memory_pages == 4
+        assert injector.current_memory_pages(64) == 4
+        assert injector.current_memory_pages(2) == 2  # min, floor 1
+        # Fired stages never re-fire.
+        for _ in range(5):
+            injector.record("heap_read")
+        assert injector.memory_drops_fired == 1
+
+    def test_rate_faults_deterministic_per_seed(self):
+        profile = FaultProfile(
+            "t", rules=(FaultRule("heap_read", rate=0.05),)
+        )
+
+        def fault_pattern(seed):
+            injector = FaultInjector(profile, seed=seed)
+            pattern = []
+            for _ in range(500):
+                try:
+                    injector.record("heap_read")
+                    pattern.append(0)
+                except TransientIOError:
+                    pattern.append(1)
+            return pattern
+
+        assert fault_pattern(7) == fault_pattern(7)
+        assert fault_pattern(7) != fault_pattern(8)
+        assert sum(fault_pattern(7)) > 0
+
+    def test_snapshot_counts(self):
+        profile = FaultProfile(
+            "t",
+            rules=(FaultRule("heap_read", at_operations=(1,), limit=1),),
+        )
+        injector = FaultInjector(profile, seed=3)
+        with pytest.raises(TransientIOError):
+            injector.record("heap_read")
+        injector.record("index_probe")
+        snapshot = injector.snapshot()
+        assert snapshot["profile"] == "t"
+        assert snapshot["seed"] == 3
+        assert snapshot["operations"] == 2
+        assert snapshot["site_operations"]["heap_read"] == 1
+        assert snapshot["site_operations"]["index_probe"] == 1
+        assert snapshot["injected_transient"] == 1
+        assert snapshot["injected_permanent"] == 0
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_counting_clock_expires_on_nth_check(self):
+        deadline = Deadline(3, clock=CountingClock())
+        deadline.check()  # reads 1.0
+        deadline.check()  # reads 2.0
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            deadline.check()  # reads 3.0 >= expiry
+        error = excinfo.value
+        assert error.deadline_seconds == 3.0
+        assert error.elapsed_seconds == 3.0
+        assert error.rows_produced == 0
+        assert error.io_snapshot is None
+
+    def test_zero_deadline_expires_immediately(self):
+        deadline = Deadline(0, clock=CountingClock())
+        with pytest.raises(QueryTimeoutError):
+            deadline.check()
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ExecutionError):
+            Deadline(-1)
+
+    def test_ensure_coerces(self):
+        assert Deadline.ensure(None) is None
+        deadline = Deadline(5)
+        assert Deadline.ensure(deadline) is deadline
+        coerced = Deadline.ensure(2.5)
+        assert isinstance(coerced, Deadline)
+        assert coerced.seconds == 2.5
+
+    def test_elapsed_and_remaining(self):
+        clock = CountingClock()
+        deadline = Deadline(10, clock=clock)
+        assert deadline.elapsed() == 1.0
+        assert deadline.remaining() == 8.0
+        assert not deadline.expired()
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.04)
+
+    def test_jitter_bounded_and_seeded(self):
+        a = RetryPolicy(base_delay=0.01, jitter=0.5, seed=4)
+        b = RetryPolicy(base_delay=0.01, jitter=0.5, seed=4)
+        delays_a = [a.delay(1) for _ in range(20)]
+        delays_b = [b.delay(1) for _ in range(20)]
+        assert delays_a == delays_b
+        for delay in delays_a:
+            assert 0.01 <= delay <= 0.015
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(jitter=2.0)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=3)
+        assert breaker.allow("q")
+        assert not breaker.record_reoptimization("q")
+        assert breaker.state("q") == "closed"
+        assert breaker.record_reoptimization("q")  # trips
+        assert breaker.state("q") == "open"
+        # Open: the next `cooldown` stale lookups are short-circuited.
+        assert not breaker.allow("q")
+        assert not breaker.allow("q")
+        assert not breaker.allow("q")
+        assert breaker.short_circuits == 3
+        # Cooldown exhausted: closed again.
+        assert breaker.allow("q")
+        assert breaker.state("q") == "closed"
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=2)
+        breaker.record_reoptimization("q")
+        breaker.record_success("q")
+        assert not breaker.record_reoptimization("q")
+        assert breaker.trips == 0
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        assert breaker.record_reoptimization("a")
+        assert not breaker.allow("a")
+        assert breaker.allow("b")
+
+
+# ----------------------------------------------------------------------
+# percentile relocation
+# ----------------------------------------------------------------------
+
+
+class TestPercentileMove:
+    def test_lives_in_common(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_service_reexport_is_same_object(self):
+        from repro.service.service import percentile as service_percentile
+
+        assert service_percentile is percentile
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
