@@ -1,18 +1,24 @@
-"""Vectorized executor throughput: batch mode vs record-at-a-time.
+"""Executor throughput: batch and compiled modes vs record-at-a-time.
 
 The batch engine exists to cut interpreter dispatch, not simulated
-I/O — both executors charge identical page/record totals (held by the
-differential suite in ``tests/test_vectorized.py``), so the quantity
-to gate on is record throughput: records processed per wall-clock
-second on the same plan over the same data.
+I/O, and the pipeline compiler exists to cut what dispatch batching
+leaves behind — all three executors charge identical page/record
+totals (held by the differential suites in ``tests/test_vectorized.py``
+and ``tests/test_compiled.py``), so the quantity to gate on is record
+throughput: records processed per wall-clock second on the same plan
+over the same data.
 
 This bench runs the static plans of all five paper queries through
-both engines and asserts the acceptance bar on the largest one (query
-5, the 10-way chain): batch mode must process records at >=2x the row
-engine's rate.  Both sides execute the same binding sweep and are
-timed in strictly alternating repetitions, compared min-to-min, so
-machine drift hits both engines equally instead of deciding the
-verdict.
+the row, batch, and compiled engines and asserts the acceptance bars:
+
+* query 5 (the 10-way chain): batch >= 2x row, compiled >= 1.5x row;
+* query 1 (single-relation index scan, where per-batch overhead once
+  made batching a *pessimization*): batch >= 1x row, compiled >= 1x
+  row — no query may regress by switching modes.
+
+All sides execute the same binding sweep and are timed in strictly
+alternating repetitions, compared min-to-min, so machine drift hits
+every engine equally instead of deciding the verdict.
 
 ``REPRO_BENCH_N`` scales the repetition count (floor 5).
 """
@@ -28,46 +34,66 @@ from repro import (
     paper_workload,
     populate_database,
 )
+from repro.executor.compiled import compile_plan
 from repro.workloads import binding_series
 
-#: The acceptance bar on the largest paper query.
+#: Batch-over-row acceptance bar on the largest paper query.
 MIN_SPEEDUP = 2.0
 
-#: The paper query the bar is gated on (10-way chain join).
+#: Compiled-over-row acceptance bar on the largest paper query.
+MIN_COMPILED_SPEEDUP = 1.5
+
+#: No mode may fall below row-mode throughput on the smallest query.
+MIN_SMALL_QUERY_SPEEDUP = 1.0
+
+#: The paper query the large bars are gated on (10-way chain join).
 GATED_QUERY = 5
+
+#: The paper query the no-regression bar is gated on (1-way scan).
+SMALL_QUERY = 1
 
 #: Binding sets swept per timed repetition.
 BINDING_SETS = 5
 
+#: Execution modes measured, in sweep order.
+MODES = ("row", "batch", "compiled")
 
-def _sweep_seconds(plan, database, bindings_list, parameter_space, mode):
+
+def _sweep_seconds(plan, database, bindings_list, parameter_space, mode,
+                   program=None):
     """Wall seconds to execute ``plan`` once per binding set."""
     started = perf_counter()
     for bindings in bindings_list:
         execute_plan(
-            plan, database, bindings, parameter_space, execution_mode=mode
+            plan, database, bindings, parameter_space, execution_mode=mode,
+            compiled_program=program,
         )
     return perf_counter() - started
 
 
 def _measure_query(number, repetitions):
-    """Min-of-reps row/batch timings for one paper query's static plan."""
+    """Min-of-reps per-mode timings for one paper query's static plan."""
     workload = paper_workload(number)
     plan = optimize_static(workload.catalog, workload.query).plan
     database = Database(workload.catalog)
     populate_database(database, seed=11)
     bindings_list = binding_series(workload, count=BINDING_SETS, seed=5)
     space = workload.query.parameter_space
+    # One shared program, as the service holds per cached plan: codegen
+    # is paid once, the timed sweeps measure steady-state execution.
+    program = compile_plan(plan)
 
     # Records processed and rows returned are mode-independent; take
-    # them from one untimed run (which also warms both code paths).
-    row_result = execute_plan(
-        plan, database, bindings_list[0], space, execution_mode="row"
-    )
-    batch_result = execute_plan(
-        plan, database, bindings_list[0], space, execution_mode="batch"
-    )
-    assert row_result.io_snapshot == batch_result.io_snapshot
+    # them from untimed runs (which also warm every code path).
+    results = {
+        mode: execute_plan(
+            plan, database, bindings_list[0], space, execution_mode=mode,
+            compiled_program=program if mode == "compiled" else None,
+        )
+        for mode in MODES
+    }
+    for mode in MODES[1:]:
+        assert results[mode].io_snapshot == results["row"].io_snapshot
     records_per_sweep = 0
     for bindings in bindings_list:
         before = database.io_stats.snapshot()["records_processed"]
@@ -76,59 +102,59 @@ def _measure_query(number, repetitions):
             database.io_stats.snapshot()["records_processed"] - before
         )
 
-    row_seconds = float("inf")
-    batch_seconds = float("inf")
+    seconds = {mode: float("inf") for mode in MODES}
     for _ in range(repetitions):
-        row_seconds = min(
-            row_seconds,
-            _sweep_seconds(plan, database, bindings_list, space, "row"),
-        )
-        batch_seconds = min(
-            batch_seconds,
-            _sweep_seconds(plan, database, bindings_list, space, "batch"),
-        )
-    return {
+        for mode in MODES:
+            seconds[mode] = min(
+                seconds[mode],
+                _sweep_seconds(
+                    plan, database, bindings_list, space, mode,
+                    program=program if mode == "compiled" else None,
+                ),
+            )
+    measurement = {
         "query": workload.name,
-        "rows": row_result.row_count,
+        "rows": results["row"].row_count,
         "records": records_per_sweep,
-        "row_seconds": row_seconds,
-        "batch_seconds": batch_seconds,
-        "row_throughput": records_per_sweep / row_seconds,
-        "batch_throughput": records_per_sweep / batch_seconds,
-        "speedup": row_seconds / batch_seconds,
     }
+    for mode in MODES:
+        measurement["%s_seconds" % mode] = seconds[mode]
+        measurement["%s_throughput" % mode] = records_per_sweep / seconds[mode]
+    measurement["speedup"] = seconds["row"] / seconds["batch"]
+    measurement["compiled_speedup"] = seconds["row"] / seconds["compiled"]
+    return measurement
 
 
 def render_table(measurements):
-    """The row/batch comparison table as printable text."""
+    """The row/batch/compiled comparison table as printable text."""
     lines = [
-        "vectorized executor: record throughput, batch vs row "
+        "executor record throughput: batch and compiled vs row "
         "(static plans, %d binding sets, min-of-reps)" % BINDING_SETS,
         "",
-        "  %-8s %8s %10s %12s %12s %14s %14s %8s"
+        "  %-8s %8s %10s %12s %12s %12s %8s %9s"
         % (
             "query",
             "rows",
             "records",
             "row-sec",
             "batch-sec",
-            "row-rec/s",
-            "batch-rec/s",
-            "speedup",
+            "comp-sec",
+            "batch-x",
+            "comp-x",
         ),
     ]
     for m in measurements:
         lines.append(
-            "  %-8s %8d %10d %12.6f %12.6f %14.0f %14.0f %7.2fx"
+            "  %-8s %8d %10d %12.6f %12.6f %12.6f %7.2fx %8.2fx"
             % (
                 m["query"],
                 m["rows"],
                 m["records"],
                 m["row_seconds"],
                 m["batch_seconds"],
-                m["row_throughput"],
-                m["batch_throughput"],
+                m["compiled_seconds"],
                 m["speedup"],
+                m["compiled_speedup"],
             )
         )
     return "\n".join(lines)
@@ -143,36 +169,42 @@ def test_batch_throughput(results_dir):
     write_and_print(results_dir, "vectorized", render_table(measurements))
     records = []
     for m in measurements:
-        records.append(
-            {
-                "name": "vectorized_%s" % m["query"],
-                "metric": "batch_record_throughput",
-                "value": m["batch_throughput"],
-                "unit": "records/s",
-            }
-        )
-        records.append(
-            {
-                "name": "vectorized_%s" % m["query"],
-                "metric": "row_record_throughput",
-                "value": m["row_throughput"],
-                "unit": "records/s",
-            }
-        )
-        records.append(
-            {
-                "name": "vectorized_%s" % m["query"],
-                "metric": "batch_over_row_speedup",
-                "value": m["speedup"],
-                "unit": "x",
-            }
-        )
+        for metric, value in (
+            ("batch_record_throughput", m["batch_throughput"]),
+            ("row_record_throughput", m["row_throughput"]),
+            ("compiled_record_throughput", m["compiled_throughput"]),
+            ("batch_over_row_speedup", m["speedup"]),
+            ("compiled_over_row_speedup", m["compiled_speedup"]),
+        ):
+            records.append(
+                {
+                    "name": "vectorized_%s" % m["query"],
+                    "metric": metric,
+                    "value": value,
+                    "unit": "records/s" if "throughput" in metric else "x",
+                }
+            )
     write_json_results(results_dir, "vectorized", records)
 
-    gated = next(
-        m for m in measurements if m["query"] == "query%d" % GATED_QUERY
-    )
+    by_query = {m["query"]: m for m in measurements}
+    gated = by_query["query%d" % GATED_QUERY]
+    small = by_query["query%d" % SMALL_QUERY]
     assert gated["speedup"] >= MIN_SPEEDUP, (
         "batch mode only %.2fx the row engine's record throughput on "
         "%s (bar: %.1fx)" % (gated["speedup"], gated["query"], MIN_SPEEDUP)
+    )
+    assert gated["compiled_speedup"] >= MIN_COMPILED_SPEEDUP, (
+        "compiled mode only %.2fx the row engine's record throughput on "
+        "%s (bar: %.1fx)"
+        % (gated["compiled_speedup"], gated["query"], MIN_COMPILED_SPEEDUP)
+    )
+    assert small["speedup"] >= MIN_SMALL_QUERY_SPEEDUP, (
+        "batch mode regressed to %.2fx of the row engine on %s "
+        "(bar: %.1fx)"
+        % (small["speedup"], small["query"], MIN_SMALL_QUERY_SPEEDUP)
+    )
+    assert small["compiled_speedup"] >= MIN_SMALL_QUERY_SPEEDUP, (
+        "compiled mode regressed to %.2fx of the row engine on %s "
+        "(bar: %.1fx)"
+        % (small["compiled_speedup"], small["query"], MIN_SMALL_QUERY_SPEEDUP)
     )

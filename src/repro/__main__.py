@@ -5,7 +5,7 @@ Commands:
 * ``demo``                 — compile, store, activate, and execute the
   motivating example end to end, narrating each step;
 * ``run``                  — optimize and execute one paper query under
-  either executor (``--execution-mode row|batch``) and print rows,
+  any executor (``--execution-mode row|batch|compiled``) and print rows,
   I/O totals, and wall time;
 * ``experiments [N]``      — regenerate the paper's evaluation
   (Table 1 and Figures 3-8) with N invocations per query (default 100);
@@ -67,9 +67,7 @@ def _demo():
         for relation, selectivity in (("R1", sel_r1), ("R2", sel_r2)):
             domain = catalog.domain_size(relation, "a")
             bindings.bind("sel_%s" % relation, selectivity)
-            bindings.bind_variable(
-                "v_%s" % relation, selectivity * domain
-            )
+            bindings.bind_variable("v_%s" % relation, selectivity * domain)
         chosen, report = resolve_dynamic_plan(
             dynamic.plan, catalog, query.parameter_space, bindings
         )
@@ -105,25 +103,35 @@ def _run(argv):
         ),
     )
     parser.add_argument(
-        "--query", type=int, default=5, choices=(1, 2, 3, 4, 5),
+        "--query",
+        type=int,
+        default=5,
+        choices=(1, 2, 3, 4, 5),
         help="paper query number (default 5, the 10-way chain)",
     )
     parser.add_argument(
-        "--execution-mode", choices=("row", "batch"), default="row",
+        "--execution-mode",
+        choices=("row", "batch", "compiled"),
+        default="row",
         help="executor: record-at-a-time iterators or vectorized "
         "batches (default row)",
     )
     parser.add_argument(
-        "--batch-size", type=int, default=None,
+        "--batch-size",
+        type=int,
+        default=None,
         help="records per batch in batch mode (default 1024)",
     )
     parser.add_argument(
-        "--static", action="store_true",
+        "--static",
+        action="store_true",
         help="execute the static expected-value plan instead of the "
         "dynamic plan",
     )
     parser.add_argument(
-        "--seed", type=int, default=0,
+        "--seed",
+        type=int,
+        default=0,
         help="seed for data population and bindings (default 0)",
     )
     args = parser.parse_args(argv)
@@ -194,28 +202,39 @@ def _serve_batch(argv):
         "omit for the built-in default mix",
     )
     parser.add_argument(
-        "--invocations", type=int, default=None,
+        "--invocations",
+        type=int,
+        default=None,
         help="override the spec's invocation count",
     )
     parser.add_argument(
-        "--threads", type=int, default=None,
+        "--threads",
+        type=int,
+        default=None,
         help="override the spec's service thread-pool width",
     )
     parser.add_argument(
-        "--capacity", type=int, default=None,
+        "--capacity",
+        type=int,
+        default=None,
         help="override the spec's plan-cache capacity",
     )
     parser.add_argument(
-        "--seed", type=int, default=None,
+        "--seed",
+        type=int,
+        default=None,
         help="override the spec's workload seed",
     )
     parser.add_argument(
-        "--no-execute", action="store_true",
+        "--no-execute",
+        action="store_true",
         help="skip data execution; measure optimization and start-up only",
     )
     parser.add_argument(
-        "--execution-mode", choices=("row", "batch"), default=None,
-        help="override the spec's executor (row or batch)",
+        "--execution-mode",
+        choices=("row", "batch", "compiled"),
+        default=None,
+        help="override the spec's executor (row, batch, or compiled)",
     )
     args = parser.parse_args(argv)
 
@@ -261,46 +280,63 @@ def _explain(argv):
         ),
     )
     parser.add_argument(
-        "sql", nargs="?", default=None,
+        "sql",
+        nargs="?",
+        default=None,
         help="SQL text parsed against the selected paper query's "
         "catalog; omit to explain the paper query itself",
     )
     parser.add_argument(
-        "--query", type=int, default=2, choices=(1, 2, 3, 4, 5),
+        "--query",
+        type=int,
+        default=2,
+        choices=(1, 2, 3, 4, 5),
         help="paper query number supplying the catalog and query "
         "(default 2)",
     )
     parser.add_argument(
-        "--analyze", action="store_true",
+        "--analyze",
+        action="store_true",
         help="execute the plan and report actual rows, cost, and "
         "q-error per operator",
     )
     parser.add_argument(
-        "--static", action="store_true",
+        "--static",
+        action="store_true",
         help="explain the static expected-value plan instead of the "
         "dynamic plan",
     )
     parser.add_argument(
-        "--seed", type=int, default=0,
+        "--seed",
+        type=int,
+        default=0,
         help="seed for data population and bindings (default 0)",
     )
     parser.add_argument(
-        "--wall", action="store_true",
+        "--wall",
+        action="store_true",
         help="include wall-clock per-operator timings "
         "(non-deterministic; excluded by default)",
     )
     parser.add_argument(
-        "--execution-mode", choices=("row", "batch"), default="row",
+        "--execution-mode",
+        choices=("row", "batch", "compiled"),
+        default="row",
         help="executor used by --analyze; cardinalities and q-errors "
         "are identical in both (default row)",
     )
     parser.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
         help="query deadline for --analyze; on expiry the partial "
         "trace collected before cancellation is rendered",
     )
     parser.add_argument(
-        "--fault-profile", default=None, metavar="NAME",
+        "--fault-profile",
+        default=None,
+        metavar="NAME",
         help="run --analyze with this fault-injection profile "
         "installed (see python -m repro chaos for the names)",
     )
@@ -385,28 +421,37 @@ def _accuracy(argv):
         ),
     )
     parser.add_argument(
-        "--queries", default="1,2,3,4,5",
+        "--queries",
+        default="1,2,3,4,5",
         help="comma-separated paper query numbers (default all five)",
     )
     parser.add_argument(
-        "--invocations", type=int, default=5,
+        "--invocations",
+        type=int,
+        default=5,
         help="binding sets replayed per query (default 5)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0,
+        "--seed",
+        type=int,
+        default=0,
         help="seed for data population and bindings (default 0)",
     )
     parser.add_argument(
-        "--static", action="store_true",
+        "--static",
+        action="store_true",
         help="profile the static expected-value plans instead of the "
         "dynamic plans",
     )
     parser.add_argument(
-        "--json", action="store_true",
+        "--json",
+        action="store_true",
         help="emit the report as JSON instead of the table",
     )
     parser.add_argument(
-        "--execution-mode", choices=("row", "batch"), default="row",
+        "--execution-mode",
+        choices=("row", "batch", "compiled"),
+        default="row",
         help="executor for the traced replay (default row)",
     )
     args = parser.parse_args(argv)
@@ -452,28 +497,37 @@ def _chaos(argv):
         ),
     )
     parser.add_argument(
-        "--profile", default="transient-and-drop",
+        "--profile",
+        default="transient-and-drop",
         help="fault profile to inject (one of: %s; default "
         "transient-and-drop)" % ", ".join(sorted(FAULT_PROFILES)),
     )
     parser.add_argument(
-        "--queries", default="1,2,3,4,5",
+        "--queries",
+        default="1,2,3,4,5",
         help="comma-separated paper query numbers (default all five)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0,
+        "--seed",
+        type=int,
+        default=0,
         help="seed for data, bindings, and fault injection (default 0)",
     )
     parser.add_argument(
-        "--execution-mode", choices=("row", "batch"), default="row",
+        "--execution-mode",
+        choices=("row", "batch", "compiled"),
+        default="row",
         help="executor the service runs under faults (default row)",
     )
     parser.add_argument(
-        "--json", action="store_true",
+        "--json",
+        action="store_true",
         help="emit the deterministic JSON report instead of the table",
     )
     parser.add_argument(
-        "--output", default=None, metavar="PATH",
+        "--output",
+        default=None,
+        metavar="PATH",
         help="also write the JSON report to this file",
     )
     args = parser.parse_args(argv)

@@ -63,9 +63,7 @@ class Catalog:
         """Register a B-tree index on an existing relation."""
         relation = index_info.relation_name
         if relation not in self._schemas:
-            raise CatalogError(
-                "cannot index unknown relation %r" % relation
-            )
+            raise CatalogError("cannot index unknown relation %r" % relation)
         schema = self._schemas[relation]
         if index_info.attribute_name not in schema:
             raise CatalogError(
@@ -84,9 +82,7 @@ class Catalog:
         influence which alternatives win.
         """
         if statistics.relation_name not in self._schemas:
-            raise CatalogError(
-                "unknown relation %r" % statistics.relation_name
-            )
+            raise CatalogError("unknown relation %r" % statistics.relation_name)
         self._statistics[statistics.relation_name] = statistics
 
     def drop_index(self, relation_name, attribute_name):

@@ -419,10 +419,7 @@ class CostModel:
             fetch_io = self._fetch_io_seconds(
                 fetched, inner_pages, memory_pages, clustered
             )
-            io = (
-                outer_card * height * IO_TIME_PER_PAGE
-                + fetch_io
-            )
+            io = outer_card * height * IO_TIME_PER_PAGE + fetch_io
             cpu = (
                 outer_card * CPU_COST_WEIGHT
                 + fetched * CPU_COST_WEIGHT

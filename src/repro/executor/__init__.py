@@ -14,6 +14,12 @@ from repro.executor.adaptive import (
     AdaptiveReport,
     execute_adaptively,
 )
+from repro.executor.compiled import (
+    CompiledPlanProgram,
+    FusedPipeline,
+    build_compiled_iterator,
+    compile_plan,
+)
 from repro.executor.engine import (
     EXECUTION_MODES,
     ExecutionContext,
@@ -30,9 +36,13 @@ __all__ = [
     "AccessModule",
     "AdaptiveExecutor",
     "AdaptiveReport",
+    "CompiledPlanProgram",
     "ExecutionContext",
     "ExecutionResult",
+    "FusedPipeline",
     "PlanStore",
+    "build_compiled_iterator",
+    "compile_plan",
     "ShrinkingAccessModule",
     "StartupReport",
     "activate_plan",

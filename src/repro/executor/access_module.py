@@ -132,9 +132,17 @@ def _node_to_dict(node, children):
             "in": children,
         }
     if isinstance(node, HashJoin):
-        return {"op": "hash-join", "preds": _joins_to_list(node.predicates), "in": children}
+        return {
+            "op": "hash-join",
+            "preds": _joins_to_list(node.predicates),
+            "in": children,
+        }
     if isinstance(node, MergeJoin):
-        return {"op": "merge-join", "preds": _joins_to_list(node.predicates), "in": children}
+        return {
+            "op": "merge-join",
+            "preds": _joins_to_list(node.predicates),
+            "in": children,
+        }
     if isinstance(node, IndexJoin):
         return {
             "op": "index-join",

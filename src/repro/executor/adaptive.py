@@ -115,9 +115,7 @@ class AdaptiveExecutor:
         for choose in self._minimal_choose_plans(plan):
             if choose is plan:
                 continue
-            self._decide_and_materialize(
-                choose, context, substitutions, report
-            )
+            self._decide_and_materialize(choose, context, substitutions, report)
 
         final_plan = self._resolve_remaining(
             plan, substitutions, context, report

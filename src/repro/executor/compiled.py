@@ -1,0 +1,567 @@
+"""Pipeline fusion: generated Python closures for execution hot paths.
+
+The vectorized engine (:mod:`repro.executor.vectorized`) amortizes
+iterator dispatch over batches, but each streaming operator still
+costs one generator resumption, one I/O-charging call, and one closure
+call per batch — and inside a batch, filters and projections each run
+their own comprehension over the same records.  This module removes
+that remaining interpretation: it walks a physical plan, identifies
+maximal *pipelines* — chains of streaming operators (filter, project,
+hash-join probe) between pipeline breakers — and emits one generated
+Python function per pipeline with every predicate comparison,
+projection dict, and probe loop inlined.  One batch then flows through
+a single stack frame from source to pipeline output.
+
+What fuses, what breaks a pipeline
+----------------------------------
+
+Streaming steps, fused into the enclosing pipeline:
+
+* ``Filter`` — the comparison is inlined (``r._fields['R1.a'] < v``);
+* ``Project`` — the projected field dict is unrolled as a literal;
+* ``HashJoin`` — the *probe* side continues the pipeline; the probe
+  loop (hash lookup, record merge, residual equality checks) is
+  inlined.  The build side is a pipeline boundary: it is compiled
+  separately and drained into the hash table when the pipeline starts.
+
+Everything else breaks a pipeline and keeps its batch iterator: scans
+(the pipeline's *source*), ``Sort`` and ``MergeJoin`` (blocking),
+``IndexJoin`` (already bulk-probing through the B-tree), ``ChoosePlan``
+(decides at open, then the chosen alternative compiles as its own
+subtree), and ``Materialized`` replays.
+
+Semantics are the differential suite's invariant: identical result
+rows, identical simulated I/O totals, and identical choose-plan
+decisions as row and batch mode.  Each fused step charges exactly what
+its interpreted operator charges (input records per step, matched
+output records and spill pages for probes), unbound host variables
+still defer their error to the first record so empty inputs never
+raise, and every inlined fast path falls back per step to the
+interpreted closure when a record lacks the exact qualified field.
+
+Deadlines, faults, and tracing survive fusion at pipeline-breaker
+boundaries: a fused pipeline checks the deadline at open and the
+engine checks it between batches; fault-injection sites live in the
+storage layer, below fusion; with a tracer attached each pipeline
+records *one* operator span (labelled by its top node) while breakers
+keep their own spans.
+
+Caching
+-------
+
+Generated code is cached in a :class:`CompiledPlanProgram`, keyed by
+the pipeline's *structural chain key* (per-step attribute/operator
+descriptors) rather than node identity — start-up resolution rebuilds
+plan nodes per invocation, but rebuilt chains share descriptors, so a
+cached service entry compiles each distinct pipeline shape once.  The
+service stores the program on the plan-cache entry next to the
+compiled start-up decision procedure, and ``PlanCacheEntry.install``
+drops both together: any plan replacement (first compilation,
+staleness re-optimization) invalidates the generated pipelines with
+the decision program.
+"""
+
+import threading
+
+from repro.algebra.expressions import ComparisonOp
+from repro.algebra.physical import (
+    ChoosePlan,
+    Filter,
+    HashJoin,
+    IndexJoin,
+    Materialized,
+    MergeJoin,
+    Project,
+    Sort,
+)
+from repro.common.units import pages_for_records
+from repro.executor.iterators import join_sides
+from repro.executor.predicates import (
+    compile_batch_predicate,
+    compile_comparison_parts,
+)
+from repro.executor.vectorized import (
+    BatchPlanIterator,
+    ChoosePlanBatchIterator,
+    IndexJoinBatchIterator,
+    MergeJoinBatchIterator,
+    SortBatchIterator,
+    _rebatch,
+    build_batch_iterator,
+)
+from repro.storage.records import Record
+
+__all__ = [
+    "CompiledPlanProgram",
+    "FusedPipeline",
+    "build_compiled_iterator",
+    "compile_plan",
+]
+
+#: Sentinel standing in for an unresolvable (unbound) operand value.
+#: The generated code tests for it per batch, so a pipeline over an
+#: empty input never touches the unbound variable — the interpreted
+#: path's first-record error deferral.
+_UNBOUND = object()
+
+#: ComparisonOp values to the Python operator inlined in generated code.
+_OP_SOURCE = {
+    ComparisonOp.EQ: "==",
+    ComparisonOp.NE: "!=",
+    ComparisonOp.LT: "<",
+    ComparisonOp.LE: "<=",
+    ComparisonOp.GT: ">",
+    ComparisonOp.GE: ">=",
+}
+
+
+def pipeline_chain(plan):
+    """Split a plan into its top fused chain and the chain's source.
+
+    Returns ``(steps, source)``: ``steps`` is the top-down list of
+    ``(kind, node)`` streaming steps (possibly empty — the node is
+    itself a breaker or a scan), ``source`` the first non-streaming
+    descendant, whose batches feed the generated pipeline.
+    """
+    steps = []
+    node = plan
+    while True:
+        if isinstance(node, Filter):
+            steps.append(("filter", node))
+            node = node.input
+        elif isinstance(node, Project):
+            steps.append(("project", node))
+            node = node.input
+        elif isinstance(node, HashJoin):
+            steps.append(("probe", node))
+            node = node.probe
+        else:
+            return steps, node
+
+
+def chain_key(steps):
+    """The structural cache key of a fused chain.
+
+    Per-step descriptors only — attribute names, comparison operators,
+    projection lists, join-key sides — never node identities: start-up
+    resolution rebuilds ancestor nodes on every invocation, and two
+    rebuilds of the same chain must hit the same generated code.
+    """
+    descriptors = []
+    for kind, node in steps:
+        if kind == "filter":
+            comparison = getattr(node.predicate, "comparison", node.predicate)
+            descriptors.append(("filter", comparison.attribute, comparison.op))
+        elif kind == "project":
+            descriptors.append(("project", tuple(node.attributes)))
+        else:
+            build_attr, probe_attr = join_sides(node.predicate, node.build)
+            extras = tuple(
+                (p.left_attribute, p.right_attribute)
+                for p in node.predicates[1:]
+            )
+            descriptors.append(("probe", build_attr, probe_attr, extras))
+    return tuple(descriptors)
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+
+
+def _emit_filter(lines, index, attribute, op):
+    """Inline one filter step: charge input, test, fall back on miss."""
+    field = repr(attribute)
+    symbol = _OP_SOURCE[op]
+    lines += [
+        "            # filter %s %s ? [step %d]" % (attribute, symbol, index),
+        "            charge(len(batch))",
+        "            if v%d is _UNBOUND:" % index,
+        "                batch = fb%d(batch)" % index,
+        "            else:",
+        "                try:",
+        "                    batch = [",
+        "                        r for r in batch",
+        "                        if r._fields[%s] %s v%d" % (field, symbol, index),
+        "                    ]",
+        "                except KeyError:",
+        "                    batch = fb%d(batch)" % index,
+        "            if not batch:",
+        "                continue",
+    ]
+
+
+def _emit_project(lines, index, attributes):
+    """Inline one projection step as an unrolled field-dict literal."""
+    literal = ", ".join("%r: _f[%r]" % (name, name) for name in attributes)
+    lines += [
+        "            # project {%s} [step %d]" % (", ".join(attributes), index),
+        "            charge(len(batch))",
+        "            try:",
+        "                _out = []",
+        "                _append = _out.append",
+        "                for r in batch:",
+        "                    _f = r._fields",
+        "                    _p = _Record.__new__(_Record)",
+        "                    _p._fields = {%s}" % literal,
+        "                    _p.rid = None",
+        "                    _append(_p)",
+        "                batch = _out",
+        "            except KeyError:",
+        "                batch = [r.project(attrs%d) for r in batch]" % index,
+    ]
+
+
+def _emit_transform_stage(lines, stage_id, stage_steps):
+    """One generator stage inlining a run of filter/project steps.
+
+    ``stage_steps`` is a bottom-up list of ``(index, descriptor)``
+    pairs; within a batch the step closest to the source runs first.
+    """
+    header = ["    def _stage%d(stream):" % stage_id,
+              "        charge = ops.charge"]
+    for index, descriptor in stage_steps:
+        if descriptor[0] == "filter":
+            header += ["        v%d = ops.v%d" % (index, index),
+                       "        fb%d = ops.fb%d" % (index, index)]
+        else:
+            header += ["        attrs%d = ops.attrs%d" % (index, index)]
+    lines += header
+    lines += ["        for batch in stream:"]
+    for index, descriptor in stage_steps:
+        if descriptor[0] == "filter":
+            _emit_filter(lines, index, descriptor[1], descriptor[2])
+        else:
+            _emit_project(lines, index, descriptor[1])
+    lines += ["            yield batch",
+              "    stream = _stage%d(stream)" % stage_id]
+
+
+def _emit_key_lines(lines, indent, attribute, target="_keys"):
+    """Exact-field key extraction with the whole-batch fallback."""
+    field = repr(attribute)
+    lines += [
+        indent + "try:",
+        indent + "    %s = [r._fields[%s] for r in batch]" % (target, field),
+        indent + "except KeyError:",
+        indent + "    %s = [r[%s] for r in batch]" % (target, field),
+    ]
+
+
+def _emit_probe_stage(lines, index, descriptor):
+    """One generator stage for a hash-join probe step.
+
+    The stage body runs on the pipeline's first pull — the same lazy
+    timing as the interpreted hash join — draining the separately
+    compiled build side into the hash table, spilling (with the row
+    path's page charges) when the build overflows the memory grant,
+    then streaming probe batches through the inlined match loop.
+    """
+    _kind, build_attr, probe_attr, extras = descriptor
+    lines += [
+        "    def _probe%d(stream):" % index,
+        "        # hash probe on %s = %s [step %d]"
+        % (build_attr, probe_attr, index),
+        "        charge = ops.charge",
+        "        _table = {}",
+        "        _count = 0",
+        "        for batch in ops.build%d.batches():" % index,
+        "            charge(len(batch))",
+        "            _count += len(batch)",
+    ]
+    _emit_key_lines(lines, "            ", build_attr)
+    lines += [
+        "            for record, key in zip(batch, _keys):",
+        "                _bucket = _table.get(key)",
+        "                if _bucket is None:",
+        "                    _table[key] = [record]",
+        "                else:",
+        "                    _bucket.append(record)",
+        "        _build_pages = ops.pages_for_records(_count)",
+        "        _precharged = _build_pages > ops.memory",
+        "        if _precharged:",
+        "            _rows = []",
+        "            for batch in stream:",
+        "                charge(len(batch))",
+        "                _rows.extend(batch)",
+        "            _spill = _build_pages + ops.pages_for_records(len(_rows))",
+        "            ops.charge_page_writes(_spill)",
+        "            ops.charge_page_reads(_spill)",
+        "            stream = ops.rebatch(_rows)",
+        "        _get = _table.get",
+        "        for batch in stream:",
+        "            if not _precharged:",
+        "                charge(len(batch))",
+    ]
+    _emit_key_lines(lines, "            ", probe_attr)
+    if extras:
+        residual = " and ".join(
+            "_merged[%r] == _merged[%r]" % pair for pair in extras
+        )
+        match_lines = [
+            "                    _merged = _m.merged_with(record)",
+            "                    if %s:" % residual,
+            "                        _append(_merged)",
+        ]
+    else:
+        match_lines = [
+            "                    _append(_m.merged_with(record))",
+        ]
+    lines += [
+        "            _matched = []",
+        "            _append = _matched.append",
+        "            for record, key in zip(batch, _keys):",
+        "                for _m in _get(key, ()):",
+    ]
+    lines += match_lines
+    lines += [
+        "            if _matched:",
+        "                charge(len(_matched))",
+        "                yield _matched",
+        "    stream = _probe%d(stream)" % index,
+    ]
+
+
+def generate_pipeline_source(key):
+    """Python source of the fused pipeline for one structural key.
+
+    The function composes generator *stages* — one per maximal run of
+    filter/project steps plus one per probe step — wired bottom-up, so
+    per-record work is fully inlined and per-batch overhead is one
+    frame per stage.  Everything execution-specific (operand values,
+    fallback closures, build-side iterators, the memory grant) arrives
+    through the ``ops`` namespace bound fresh per execution.
+    """
+    lines = [
+        "def _pipeline(source, ops):",
+        "    # generated by repro.executor.compiled for chain:",
+    ]
+    for descriptor in key:
+        lines.append("    #   %r" % (descriptor,))
+    lines += ["    stream = source"]
+    stage_id = 0
+    pending = []  # bottom-up (index, descriptor) run of filter/project
+    for position in range(len(key) - 1, -1, -1):
+        descriptor = key[position]
+        if descriptor[0] == "probe":
+            if pending:
+                _emit_transform_stage(lines, stage_id, pending)
+                stage_id += 1
+                pending = []
+            _emit_probe_stage(lines, position, descriptor)
+        else:
+            pending.append((position, descriptor))
+    if pending:
+        _emit_transform_stage(lines, stage_id, pending)
+    lines += ["    return stream"]
+    return "\n".join(lines) + "\n"
+
+
+def _compile_source(source):
+    """Exec generated source into its pipeline factory function."""
+    namespace = {"_Record": Record, "_UNBOUND": _UNBOUND}
+    exec(compile(source, "<repro.executor.compiled>", "exec"), namespace)
+    factory = namespace["_pipeline"]
+    factory.source = source
+    return factory
+
+
+class CompiledPlanProgram:
+    """Thread-safe cache of generated pipeline functions for one plan.
+
+    Lives on a plan-cache entry next to the compiled start-up decision
+    program and is invalidated together with it (``install`` replaces
+    both).  Keys are structural (:func:`chain_key`), so the chains of
+    every start-up-resolved variant of the plan — rebuilt nodes and
+    all — share one compilation each.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._factories = {}
+        #: Factory lookups served (fused pipeline opens).
+        self.requests = 0
+        #: Code-generation runs (lookup misses).
+        self.compilations = 0
+
+    def pipeline_factory(self, steps):
+        """The generated function for a chain, compiling on first use."""
+        key = chain_key(steps)
+        with self._lock:
+            self.requests += 1
+            factory = self._factories.get(key)
+            if factory is None:
+                factory = _compile_source(generate_pipeline_source(key))
+                self._factories[key] = factory
+                self.compilations += 1
+            return factory
+
+    def precompile(self, plan):
+        """Generate code for every pipeline reachable from ``plan``.
+
+        Walks the full DAG — choose-plan alternatives included, so the
+        start-up decision never stalls on first-execution codegen —
+        and warms the factory cache.  Returns ``self`` for chaining.
+        """
+        seen = set()
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node is None:
+                continue
+            seen.add(id(node))
+            steps, source = pipeline_chain(node)
+            if steps:
+                self.pipeline_factory(steps)
+                for kind, step_node in steps:
+                    if kind == "probe":
+                        stack.append(step_node.build)
+                stack.append(source)
+            elif isinstance(node, Sort):
+                stack.append(node.input)
+            elif isinstance(node, MergeJoin):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, IndexJoin):
+                stack.append(node.outer)
+            elif isinstance(node, ChoosePlan):
+                stack.extend(node.alternatives)
+            elif isinstance(node, Materialized):
+                stack.append(node.original)
+        return self
+
+    def __len__(self):
+        with self._lock:
+            return len(self._factories)
+
+    def __repr__(self):
+        return "CompiledPlanProgram(%d pipelines, %d requests)" % (
+            len(self),
+            self.requests,
+        )
+
+
+def compile_plan(plan):
+    """Precompile every pipeline of a plan into a fresh program."""
+    return CompiledPlanProgram().precompile(plan)
+
+
+class _PipelineOps:
+    """Per-execution bindings the generated code reads off ``ops``."""
+
+
+class FusedPipeline(BatchPlanIterator):
+    """A fused chain driven by its generated pipeline function.
+
+    Presents the standard batch-iterator protocol (so the engine drive
+    loop, the tracer, and enclosing breakers treat it like any
+    operator) with ``plan`` set to the chain's top node — the label of
+    the pipeline's single trace span.
+    """
+
+    def __init__(self, plan, context, program, steps, source_plan):
+        super().__init__(plan, context)
+        self._program = program
+        self._steps = steps
+        self._source_plan = source_plan
+
+    def _build_child(self, plan):
+        return build_compiled_iterator(plan, self.context, self._program)
+
+    def _bind_ops(self):
+        """Resolve the chain's execution-specific values into ``ops``.
+
+        Filter operands resolve against the current bindings (the
+        :data:`_UNBOUND` sentinel preserves first-record error
+        deferral); probe steps get their build side as a separately
+        compiled iterator; the memory grant and spill charging close
+        over the context exactly as the interpreted hash join does.
+        """
+        context = self.context
+        io_stats = context.io_stats
+        batch_size = context.batch_size
+        ops = _PipelineOps()
+        ops.charge = io_stats.charge_records
+        ops.charge_page_writes = io_stats.charge_page_writes
+        ops.charge_page_reads = io_stats.charge_page_reads
+        ops.pages_for_records = pages_for_records
+        ops.memory = context.memory_pages
+        ops.rebatch = lambda rows: _rebatch(rows, batch_size)
+        for index, (kind, node) in enumerate(self._steps):
+            if kind == "filter":
+                parts = compile_comparison_parts(
+                    node.predicate, context.bindings
+                )
+                setattr(
+                    ops,
+                    "v%d" % index,
+                    _UNBOUND if parts is None else parts[2],
+                )
+                setattr(
+                    ops,
+                    "fb%d" % index,
+                    compile_batch_predicate(node.predicate, context.bindings),
+                )
+            elif kind == "project":
+                setattr(ops, "attrs%d" % index, node.attributes)
+            else:
+                setattr(ops, "build%d" % index, self._build_child(node.build))
+        return ops
+
+    def _produce_batches(self):
+        factory = self._program.pipeline_factory(self._steps)
+        source = self._build_child(self._source_plan)
+        return factory(source.batches(), self._bind_ops())
+
+
+class _CompiledChildMixin:
+    """Route a breaker's child construction through the compiler."""
+
+    def __init__(self, plan, context, program):
+        super().__init__(plan, context)
+        self._program = program
+
+    def _build_child(self, plan):
+        return build_compiled_iterator(plan, self.context, self._program)
+
+
+class CompiledSortIterator(_CompiledChildMixin, SortBatchIterator):
+    """Sort breaker whose input compiles into fused pipelines."""
+
+
+class CompiledMergeJoinIterator(_CompiledChildMixin, MergeJoinBatchIterator):
+    """Merge-join breaker with compiled inputs."""
+
+
+class CompiledIndexJoinIterator(_CompiledChildMixin, IndexJoinBatchIterator):
+    """Index-join breaker whose outer input compiles."""
+
+
+class CompiledChoosePlanIterator(_CompiledChildMixin, ChoosePlanBatchIterator):
+    """Choose-plan breaker: decides at open (recording its decisions
+    through the context as ever), then compiles the chosen subtree."""
+
+
+def build_compiled_iterator(plan, context, program=None):
+    """Construct the compiled-execution iterator tree for a plan.
+
+    Fusable chains become :class:`FusedPipeline`; breakers keep their
+    vectorized iterators but build *their* children through the
+    compiler; scans and materialized replays are plain batch
+    iterators.  ``program`` carries the generated-code cache across
+    the whole tree (and, via the service's plan-cache entry, across
+    invocations); ``None`` compiles into a fresh throwaway program.
+    """
+    if program is None:
+        program = CompiledPlanProgram()
+    steps, source = pipeline_chain(plan)
+    if steps:
+        return FusedPipeline(plan, context, program, steps, source)
+    if isinstance(plan, Sort):
+        return CompiledSortIterator(plan, context, program)
+    if isinstance(plan, MergeJoin):
+        return CompiledMergeJoinIterator(plan, context, program)
+    if isinstance(plan, IndexJoin):
+        return CompiledIndexJoinIterator(plan, context, program)
+    if isinstance(plan, ChoosePlan):
+        return CompiledChoosePlanIterator(plan, context, program)
+    return build_batch_iterator(plan, context)

@@ -214,7 +214,11 @@ def _rebuild(node, new_children):
 
 
 def activate_plan(
-    plan, catalog, parameter_space, bindings, branch_and_bound=False,
+    plan,
+    catalog,
+    parameter_space,
+    bindings,
+    branch_and_bound=False,
     validate=True,
 ):
     """Activate a plan as the execution engine would at start-up time.

@@ -69,19 +69,19 @@ def main(argv=None):
         except IndexError:
             print("--csv requires a directory argument")
             return 2
-        del argv[position:position + 2]
+        del argv[position : position + 2]
     execution_mode = "row"
     if "--execution-mode" in argv:
         position = argv.index("--execution-mode")
         try:
             execution_mode = argv[position + 1]
         except IndexError:
-            print("--execution-mode requires 'row' or 'batch'")
+            print("--execution-mode requires 'row', 'batch', or 'compiled'")
             return 2
-        if execution_mode not in ("row", "batch"):
-            print("--execution-mode must be 'row' or 'batch'")
+        if execution_mode not in ("row", "batch", "compiled"):
+            print("--execution-mode must be 'row', 'batch', or 'compiled'")
             return 2
-        del argv[position:position + 2]
+        del argv[position : position + 2]
     with_accuracy = "--accuracy" in argv
     if with_accuracy:
         argv.remove("--accuracy")

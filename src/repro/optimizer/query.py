@@ -291,7 +291,7 @@ class QuerySpec:
         results = []
         if count < 2:
             return results
-        for mask in range(1, 2 ** count - 1):
+        for mask in range(1, 2**count - 1):
             left = frozenset(
                 relation_list[i] for i in range(count) if mask & (1 << i)
             )

@@ -208,9 +208,7 @@ class SearchEngine:
         with maybe_phase(tracer, "search:extract"):
             entry = self.best(root_key, PhysicalProperty.any())
             if entry is None:
-                raise OptimizationError(
-                    "no plan found for query %r" % query.name
-                )
+                raise OptimizationError("no plan found for query %r" % query.name)
             if query.projection is not None:
                 # Projection is decoration: apply it once above the winner.
                 from repro.algebra.physical import Project

@@ -52,8 +52,7 @@ def rows_digest(records):
 class QueryOutcome:
     """What one query did under the profile, versus its baseline."""
 
-    def __init__(self, number, name, expected, baseline_rows,
-                 baseline_digest):
+    def __init__(self, number, name, expected, baseline_rows, baseline_digest):
         self.number = number
         self.name = name
         #: ``"complete"`` or ``"fail-fast"``.

@@ -106,7 +106,12 @@ def recommend_strategy(catalog, query, expected_invocations=100,
         "run-time optimization": a + g,
     }
     components = {
-        "a": a, "b": b, "c": c, "e": e, "f": f, "g": g,
+        "a": a,
+        "b": b,
+        "c": c,
+        "e": e,
+        "f": f,
+        "g": g,
         "static_nodes": static_module.node_count,
         "dynamic_nodes": dynamic_module.node_count,
     }

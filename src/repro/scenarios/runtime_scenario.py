@@ -32,7 +32,10 @@ class RunTimeOptimizationScenario:
     def invoke(self, bindings):
         """One invocation: optimize (measured) then execute (predicted)."""
         result = optimize_runtime(
-            self.workload.catalog, self.workload.query, bindings, self.config,
+            self.workload.catalog,
+            self.workload.query,
+            bindings,
+            self.config,
             tracer=self.tracer,
         )
         self.last_result = result

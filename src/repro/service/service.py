@@ -100,8 +100,8 @@ class ServiceRequest:
         #: None inherits the service default; True/False overrides it.
         self.execute = execute
         self.tag = tag
-        #: None inherits the service default; ``"row"``/``"batch"``
-        #: overrides it for this invocation alone.
+        #: None inherits the service default; ``"row"``/``"batch"``/
+        #: ``"compiled"`` overrides it for this invocation alone.
         self.execution_mode = execution_mode
         #: Per-request deadline in seconds; None inherits the
         #: resilience policy's service-wide default.
@@ -275,12 +275,20 @@ class QueryService:
         costs one ``is None`` test per iterator open.
     execution_mode:
         Service-wide default engine for plan execution: ``"row"``
-        (record-at-a-time Volcano iterators, the default) or
-        ``"batch"`` (the vectorized executor).  Individual requests
-        override it via :attr:`ServiceRequest.execution_mode`.
+        (record-at-a-time Volcano iterators, the default),
+        ``"batch"`` (the vectorized executor), or ``"compiled"``
+        (fused generated pipelines, :mod:`repro.executor.compiled`).
+        Individual requests override it via
+        :attr:`ServiceRequest.execution_mode`.
     batch_size:
-        Records per batch in ``"batch"`` mode; ``None`` uses the
-        engine default.
+        Records per batch in ``"batch"``/``"compiled"`` mode; ``None``
+        uses the engine default.
+    compile_pipelines:
+        Accelerate ``"row"``/``"batch"`` execution through the fused
+        pipeline compiler while keeping the declared mode's observable
+        semantics.  ``"compiled"`` mode implies it.  Either way the
+        generated code is cached on the plan-cache entry next to the
+        compiled start-up decision program and invalidated with it.
     resilience:
         A :class:`~repro.resilience.policy.ResiliencePolicy` bundling
         the transient-fault retry policy, the optional per-signature
@@ -304,6 +312,7 @@ class QueryService:
         tracer=None,
         execution_mode="row",
         batch_size=None,
+        compile_pipelines=False,
         resilience=None,
     ):
         if optimize is None:
@@ -321,6 +330,7 @@ class QueryService:
         self.default_execute = bool(execute)
         self.execution_mode = execution_mode
         self.batch_size = batch_size
+        self.compile_pipelines = bool(compile_pipelines)
         self.branch_and_bound = bool(branch_and_bound)
         self.validate = bool(validate)
         self.compiled = bool(compiled)
@@ -572,8 +582,30 @@ class QueryService:
                         reason=str(error),
                     )
                 decision = None
-        entry.install(plan, query.parameter_space, decision)
+        pipelines = None
+        if self.compile_pipelines or self.execution_mode == "compiled":
+            from repro.executor.compiled import CompiledPlanProgram
+
+            pipelines = CompiledPlanProgram().precompile(plan)
+        entry.install(plan, query.parameter_space, decision, pipelines)
         return time.perf_counter() - compile_started
+
+    def _pipelines_for(self, entry):
+        """The entry's generated-pipeline cache, created on demand.
+
+        Covers per-request ``"compiled"`` overrides on a service whose
+        default mode never precompiles: the program is built lazily,
+        attached under the entry lock, and — like the eagerly built
+        one — dropped by the next ``install``.
+        """
+        with entry.lock:
+            if entry.pipelines is None:
+                from repro.executor.compiled import CompiledPlanProgram
+
+                entry.pipelines = CompiledPlanProgram()
+                if entry.plan is not None:
+                    entry.pipelines.precompile(entry.plan)
+            return entry.pipelines
 
     def _decide(self, decision, plan, parameter_space, bindings):
         """The start-up decision: compiled program or interpreted pass."""
@@ -618,6 +650,8 @@ class QueryService:
         retry = self.resilience.retry
         transient_retries = 0
         degradations = 0
+        use_compiled = mode == "compiled" or self.compile_pipelines
+        program = self._pipelines_for(entry) if use_compiled else None
         while True:
             if info is not None:
                 info["attempts"] += 1
@@ -632,6 +666,8 @@ class QueryService:
                         execution_mode=mode,
                         batch_size=self.batch_size,
                         deadline=deadline,
+                        compile_pipelines=self.compile_pipelines,
+                        compiled_program=program,
                     )
                 return execution, chosen, report
             except TransientIOError as error:

@@ -52,7 +52,9 @@ def selection_variable_name(relation_name):
 
 
 def make_selection_predicate(
-    relation_name, expected_selectivity=0.05, uncertain=True,
+    relation_name,
+    expected_selectivity=0.05,
+    uncertain=True,
     selectivity_bounds=(0.0, 1.0),
 ):
     """``R.a < :v_R`` with an uncertain selectivity parameter.

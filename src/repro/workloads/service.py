@@ -135,9 +135,10 @@ class ServiceWorkloadSpec:
         self.capacity = int(capacity)
         self.seed = int(seed)
         self.execute = bool(execute)
-        if execution_mode not in ("row", "batch"):
+        if execution_mode not in ("row", "batch", "compiled"):
             raise OptimizationError(
-                "execution_mode must be 'row' or 'batch', got %r" % (execution_mode,)
+                "execution_mode must be 'row', 'batch', or 'compiled', "
+                "got %r" % (execution_mode,)
             )
         self.execution_mode = execution_mode
         if self.invocations < 0:

@@ -1,0 +1,446 @@
+"""Differential tests: compiled (fused-pipeline) execution vs row mode.
+
+The pipeline compiler (:mod:`repro.executor.compiled`) generates
+Python source per operator chain, so its highest-risk failure is a
+silent semantic divergence from the interpreted engines.  These tests
+hold the engine-equivalence invariant — identical result rows,
+identical simulated I/O totals, identical start-up decisions — over
+every paper query, static and dynamic plans, traced and untraced, and
+additionally pin down the guarantees fusion must not break: deadline
+cancellation and injected faults still surface as typed errors inside
+fused pipelines, and the plan cache invalidates generated pipelines
+together with the compiled start-up decision program.
+"""
+
+import pytest
+
+from repro.catalog import populate_database
+from repro.common.errors import (
+    PermanentIOError,
+    QueryTimeoutError,
+    ServiceExecutionError,
+    TransientIOError,
+)
+from repro.executor.compiled import (
+    CompiledPlanProgram,
+    build_compiled_iterator,
+    chain_key,
+    compile_plan,
+    pipeline_chain,
+)
+from repro.executor.engine import ExecutionContext, execute_plan
+from repro.observability import Tracer
+from repro.optimizer.optimizer import optimize_dynamic, optimize_static
+from repro.resilience import FaultInjector, fault_profile
+from repro.service.cache import PlanCacheEntry
+from repro.storage.database import Database
+from repro.workloads import binding_series, paper_workload
+
+PAPER_QUERIES = (1, 2, 3, 4, 5)
+PLAN_KINDS = ("static", "dynamic")
+
+
+def _optimize(workload, kind):
+    if kind == "static":
+        return optimize_static(workload.catalog, workload.query).plan
+    return optimize_dynamic(workload.catalog, workload.query).plan
+
+
+def _database(workload):
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    return database
+
+
+def _run(workload, plan, bindings, mode, tracer=None, **kwargs):
+    return execute_plan(
+        plan,
+        _database(workload),
+        bindings,
+        workload.query.parameter_space,
+        tracer=tracer,
+        execution_mode=mode,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("traced", (False, True), ids=("untraced", "traced"))
+@pytest.mark.parametrize("kind", PLAN_KINDS)
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_compiled_matches_row(number, kind, traced):
+    workload = paper_workload(number)
+    plan = _optimize(workload, kind)
+    for bindings in binding_series(workload, count=2, seed=5):
+        row = _run(
+            workload, plan, bindings, "row",
+            tracer=Tracer() if traced else None,
+        )
+        compiled = _run(
+            workload, plan, bindings, "compiled",
+            tracer=Tracer() if traced else None,
+        )
+
+        assert compiled.records == row.records
+        assert compiled.io_snapshot == row.io_snapshot
+        assert compiled.decisions == row.decisions
+
+
+@pytest.mark.parametrize("mode", ("row", "batch"))
+@pytest.mark.parametrize("number", PAPER_QUERIES)
+def test_compile_pipelines_flag_preserves_mode_semantics(number, mode):
+    """``compile_pipelines=True`` accelerates row/batch transparently."""
+    workload = paper_workload(number)
+    plan = _optimize(workload, "dynamic")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    plain = _run(workload, plan, bindings, mode)
+    fused = _run(workload, plan, bindings, mode, compile_pipelines=True)
+    assert fused.records == plain.records
+    assert fused.io_snapshot == plain.io_snapshot
+    assert fused.decisions == plain.decisions
+
+
+@pytest.mark.parametrize("batch_size", (1, 3, 64))
+def test_compiled_batch_size_sweep(batch_size):
+    """Any batch size yields row-mode results through fused pipelines."""
+    workload = paper_workload(2)
+    plan = _optimize(workload, "dynamic")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    row = _run(workload, plan, bindings, "row")
+    compiled = _run(
+        workload, plan, bindings, "compiled", batch_size=batch_size
+    )
+    assert compiled.records == row.records
+    assert compiled.io_snapshot == row.io_snapshot
+
+
+def test_compiled_trace_has_single_root_with_exact_totals():
+    """A fused pipeline records one span; totals stay exact."""
+    workload = paper_workload(3)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    compiled = _run(workload, plan, bindings, "compiled", tracer=Tracer())
+    assert len(compiled.trace.roots) == 1
+    root = compiled.trace.roots[0]
+    assert root.rows == compiled.row_count
+    assert root.pages_read == compiled.io_snapshot["pages_read"]
+    assert root.records_processed == compiled.io_snapshot["records_processed"]
+
+
+def test_empty_input_does_not_touch_unbound_operands():
+    """Fused filters defer unbound-variable errors to the first record."""
+    workload = paper_workload(2)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    for name in list(bindings._variables):
+        bindings.bind_variable(name, -1)
+    for name in bindings.parameter_names():
+        if name.startswith("sel_"):
+            bindings.bind(name, 0.0)
+    row = _run(workload, plan, bindings, "row")
+    compiled = _run(workload, plan, bindings, "compiled")
+    assert row.records == []
+    assert compiled.records == []
+    assert compiled.io_snapshot == row.io_snapshot
+
+
+# ----------------------------------------------------------------------
+# Resilience guarantees inside fused pipelines
+# ----------------------------------------------------------------------
+
+
+def test_deadline_cancels_inside_fused_pipeline():
+    """An expired deadline raises the typed timeout, not a plain error."""
+    workload = paper_workload(5)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        _run(workload, plan, bindings, "compiled", deadline=0.0)
+    error = excinfo.value
+    assert error.rows_produced == 0
+    assert error.io_snapshot is not None
+
+
+def test_transient_fault_surfaces_typed_from_fused_pipeline():
+    workload = paper_workload(2)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    database = _database(workload)
+    database.install_fault_injector(
+        FaultInjector(fault_profile("transient-io"), seed=0)
+    )
+    with pytest.raises(TransientIOError):
+        execute_plan(
+            plan,
+            database,
+            bindings,
+            workload.query.parameter_space,
+            execution_mode="compiled",
+        )
+
+
+def test_permanent_fault_surfaces_typed_from_fused_pipeline():
+    workload = paper_workload(2)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    database = _database(workload)
+    database.install_fault_injector(
+        FaultInjector(fault_profile("broken-disk"), seed=0)
+    )
+    with pytest.raises(PermanentIOError):
+        execute_plan(
+            plan,
+            database,
+            bindings,
+            workload.query.parameter_space,
+            execution_mode="compiled",
+        )
+
+
+# ----------------------------------------------------------------------
+# Code generation and caching
+# ----------------------------------------------------------------------
+
+
+def _first_chain(plan):
+    """The first non-empty fused chain anywhere in a plan DAG."""
+    for node in plan.walk_unique():
+        steps, _source = pipeline_chain(node)
+        if steps:
+            return steps
+    raise AssertionError("plan has no fusable chain: %r" % plan)
+
+
+def test_chain_key_is_structural_not_identity():
+    """Two optimizations of the same query share every chain key."""
+    workload = paper_workload(3)
+    plan_a = _optimize(workload, "dynamic")
+    plan_b = _optimize(workload, "dynamic")
+    steps_a = _first_chain(plan_a)
+    steps_b = _first_chain(plan_b)
+    assert steps_a is not steps_b
+    assert chain_key(steps_a) == chain_key(steps_b)
+
+
+def test_generated_source_inlines_predicates_and_projections():
+    workload = paper_workload(3)
+    plan = _optimize(workload, "dynamic")
+    steps = _first_chain(plan)
+    program = CompiledPlanProgram()
+    factory = program.pipeline_factory(steps)
+    assert "def _pipeline(source, ops):" in factory.source
+    # The per-record work is inlined field access, not closure
+    # dispatch: the source mentions the records' exact field dict.
+    assert "_fields[" in factory.source
+
+
+def test_program_compiles_each_chain_shape_once():
+    workload = paper_workload(5)
+    plan = _optimize(workload, "dynamic")
+    program = compile_plan(plan)
+    assert len(program) > 0
+    after_precompile = program.compilations
+
+    bindings = binding_series(workload, count=2, seed=5)
+    database = _database(workload)
+    for series in (bindings, bindings):
+        for binding in series:
+            execute_plan(
+                plan,
+                database,
+                binding,
+                workload.query.parameter_space,
+                execution_mode="compiled",
+                compiled_program=program,
+            )
+    # Start-up resolution rebuilds nodes each invocation; chains that
+    # cross former choose-plan boundaries compile once on first use
+    # and every later invocation hits the structural cache.
+    first_round = program.compilations
+    assert program.requests > program.compilations
+    assert program.compilations >= after_precompile
+    execute_plan(
+        plan,
+        database,
+        bindings[0],
+        workload.query.parameter_space,
+        execution_mode="compiled",
+        compiled_program=program,
+    )
+    assert program.compilations == first_round
+
+
+def test_fresh_program_per_execution_when_none_supplied():
+    workload = paper_workload(2)
+    plan = _optimize(workload, "static")
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    context = ExecutionContext(
+        database=_database(workload),
+        bindings=bindings,
+        parameter_space=workload.query.parameter_space,
+        execution_mode="compiled",
+    )
+    root = build_compiled_iterator(plan, context)
+    assert [r for batch in root.batches() for r in batch] is not None
+
+
+# ----------------------------------------------------------------------
+# Plan-cache invalidation contract
+# ----------------------------------------------------------------------
+
+
+def test_install_replaces_pipelines_with_decision():
+    workload = paper_workload(2)
+    plan = _optimize(workload, "dynamic")
+    entry = PlanCacheEntry("sig", workload.query)
+    program = compile_plan(plan)
+    entry.install(plan, workload.query.parameter_space, decision=None,
+                  pipelines=program)
+    assert entry.pipelines is program
+    entry.install(plan, workload.query.parameter_space, decision=None)
+    assert entry.pipelines is None
+
+
+def _narrow_workload(bounds=(0.0, 0.3)):
+    """A 2-way service workload compiled over narrowed selectivity
+    bounds — bindings outside ``bounds`` render the cached plan stale."""
+    from repro.workloads.service import (
+        ServiceQuerySpec,
+        ServiceWorkloadSpec,
+        build_service_workloads,
+    )
+
+    spec = ServiceWorkloadSpec(
+        [ServiceQuerySpec(2, selectivity_bounds=bounds)], seed=7
+    )
+    return build_service_workloads(spec)[0]
+
+
+def _bindings_at(workload, selectivity):
+    """Bindings setting every unbound selectivity to one value."""
+    from repro.cost.parameters import Bindings
+    from repro.workloads.queries import selection_variable_name
+
+    bindings = Bindings()
+    for relation_name in workload.query.relations:
+        predicate = workload.query.selection_for(relation_name)
+        if predicate is None or not predicate.is_uncertain:
+            continue
+        domain = workload.catalog.domain_size(relation_name, "a")
+        bindings.bind(predicate.selectivity_parameter, selectivity)
+        bindings.bind_variable(
+            selection_variable_name(relation_name), selectivity * domain
+        )
+    return bindings
+
+
+def test_service_reoptimization_invalidates_pipelines():
+    """Staleness re-optimization swaps decision and pipelines together."""
+    from repro.service import QueryService
+
+    workload = _narrow_workload(bounds=(0.0, 0.3))
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    with QueryService(
+        database, max_workers=1, execution_mode="compiled"
+    ) as service:
+        service.run(workload.query, _bindings_at(workload, 0.2))
+        entry = service.cache.get(workload.query)
+        first_program = entry.pipelines
+        assert isinstance(first_program, CompiledPlanProgram)
+
+        drifted = service.run(workload.query, _bindings_at(workload, 0.9))
+        assert drifted.reoptimized
+        assert entry.pipelines is not first_program
+        assert isinstance(entry.pipelines, CompiledPlanProgram)
+
+
+# ----------------------------------------------------------------------
+# Service plumbing
+# ----------------------------------------------------------------------
+
+
+def test_service_compiled_mode_matches_row():
+    from repro.service import QueryService, ServiceRequest
+
+    workload = paper_workload(2)
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    with QueryService(
+        database, max_workers=1, execution_mode="compiled"
+    ) as service:
+        compiled_result = service.run(workload.query, bindings)
+        row_result = service.run(
+            workload.query, bindings, execution_mode="row"
+        )
+        batched = service.run_batch(
+            [
+                ServiceRequest(
+                    workload.query, bindings, execution_mode="compiled"
+                )
+            ]
+        )
+        entry = service.cache.get(workload.query)
+        assert isinstance(entry.pipelines, CompiledPlanProgram)
+    assert compiled_result.execution.records == row_result.execution.records
+    assert batched[0].execution.records == row_result.execution.records
+
+
+def test_service_compile_pipelines_flag():
+    from repro.service import QueryService
+
+    workload = paper_workload(2)
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    with QueryService(
+        database, max_workers=1, execution_mode="row", compile_pipelines=True
+    ) as service:
+        result = service.run(workload.query, bindings)
+        entry = service.cache.get(workload.query)
+        assert isinstance(entry.pipelines, CompiledPlanProgram)
+    row = _run(
+        workload, _optimize(workload, "dynamic"), bindings, "row"
+    )
+    assert [r.as_dict() for r in result.execution.records] == [
+        r.as_dict() for r in row.records
+    ]
+
+
+def test_service_deadline_timeout_typed_in_compiled_mode():
+    from repro.resilience import ResiliencePolicy, RetryPolicy
+    from repro.service import QueryService
+
+    workload = paper_workload(5)
+    database = Database(workload.catalog)
+    populate_database(database, seed=11)
+    bindings = binding_series(workload, count=1, seed=5)[0]
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_retries=0, base_delay=0.0, jitter=0.0),
+        sleep=lambda _seconds: None,
+    )
+    with QueryService(
+        database, max_workers=1, execution_mode="compiled", resilience=policy
+    ) as service:
+        with pytest.raises(ServiceExecutionError) as excinfo:
+            service.run(workload.query, bindings, deadline_seconds=0.0)
+    assert isinstance(excinfo.value.cause, QueryTimeoutError)
+
+
+def test_workload_spec_accepts_compiled_mode():
+    from repro.workloads.service import ServiceWorkloadSpec
+
+    spec = ServiceWorkloadSpec.from_dict(
+        {
+            "queries": [{"relations": 2}],
+            "invocations": 4,
+            "execution_mode": "compiled",
+        }
+    )
+    assert spec.execution_mode == "compiled"
+    assert spec.replace(execution_mode="row").execution_mode == "row"

@@ -192,7 +192,7 @@ def test_invalid_execution_mode_rejected():
     database = Database(workload.catalog)
     with pytest.raises(ExecutionError):
         ExecutionContext(database, execution_mode="columnar")
-    assert EXECUTION_MODES == ("row", "batch")
+    assert EXECUTION_MODES == ("row", "batch", "compiled")
 
 
 def test_invalid_batch_size_rejected():
