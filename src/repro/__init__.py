@@ -53,8 +53,11 @@ from repro.cost import Bindings, CostModel, ParameterSpace, Valuation
 from repro.frontend import parse_query
 from repro.executor import (
     AccessModule,
+    MidQueryReport,
+    ReoptPolicy,
     ShrinkingAccessModule,
     activate_plan,
+    execute_midquery,
     execute_plan,
     resolve_dynamic_plan,
 )
@@ -90,6 +93,7 @@ from repro.workloads import (
     make_join_workload,
     paper_workload,
     random_bindings,
+    skewed_bindings,
 )
 
 __version__ = "1.0.0"
@@ -114,6 +118,7 @@ __all__ = [
     "JoinPredicate",
     "Literal",
     "MetricsRegistry",
+    "MidQueryReport",
     "OptimizerConfig",
     "OptimizerMode",
     "ParameterSpace",
@@ -121,6 +126,7 @@ __all__ = [
     "PlanCache",
     "QueryService",
     "QuerySpec",
+    "ReoptPolicy",
     "RunTimeOptimizationScenario",
     "SearchEngine",
     "Select",
@@ -137,6 +143,7 @@ __all__ = [
     "canonical_signature",
     "cost_model_accuracy",
     "default_relation_specs",
+    "execute_midquery",
     "execute_plan",
     "explain_analyze",
     "make_join_workload",
@@ -152,4 +159,5 @@ __all__ = [
     "replay_spec",
     "resolve_dynamic_plan",
     "signature_digest",
+    "skewed_bindings",
 ]

@@ -31,6 +31,7 @@ import sys
 from repro import (
     Bindings,
     Database,
+    execute_midquery,
     execute_plan,
     optimize_dynamic,
     optimize_static,
@@ -40,6 +41,19 @@ from repro import (
     populate_database,
     resolve_dynamic_plan,
 )
+
+
+def _parse_skew(text, command):
+    """Parse a ``DECLARED:ACTUAL`` selectivity pair; None on error."""
+    parts = text.split(":")
+    if len(parts) == 2:
+        try:
+            return float(parts[0]), float(parts[1])
+        except ValueError:
+            pass
+    print("%s: --skew must be DECLARED:ACTUAL "
+          "(two floats, e.g. 0.02:0.6)" % command)
+    return None
 
 
 def _demo():
@@ -134,23 +148,61 @@ def _run(argv):
         default=0,
         help="seed for data population and bindings (default 0)",
     )
+    parser.add_argument(
+        "--reopt",
+        default=None,
+        metavar="SPEC",
+        help="mid-query re-optimization policy, e.g. 'auto', 'always', "
+        "'always+restart', or 'auto:sort,hash_build' (default off)",
+    )
+    parser.add_argument(
+        "--skew",
+        default=None,
+        metavar="DECLARED:ACTUAL",
+        help="bind lying selectivities: declare DECLARED but make the "
+        "data behave like ACTUAL, so estimates diverge only at "
+        "run time (e.g. 0.02:0.6)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.executor.midquery import ReoptPolicy
+    from repro.workloads.bindings import skewed_bindings
 
     workload = paper_workload(args.query, seed=args.seed)
     optimize = optimize_static if args.static else optimize_dynamic
     plan = optimize(workload.catalog, workload.query).plan
     database = Database(workload.catalog)
     populate_database(database, seed=args.seed)
-    bindings = random_bindings(workload, seed=args.seed)
+    if args.skew is not None:
+        skew = _parse_skew(args.skew, "run")
+        if skew is None:
+            return 2
+        bindings = skewed_bindings(
+            workload, declared=skew[0], actual=skew[1], seed=args.seed
+        )
+    else:
+        bindings = random_bindings(workload, seed=args.seed)
+    mid_report = None
     started = time.perf_counter()
-    result = execute_plan(
-        plan,
-        database,
-        bindings,
-        workload.query.parameter_space,
-        execution_mode=args.execution_mode,
-        batch_size=args.batch_size,
-    )
+    if args.reopt is not None:
+        result, mid_report = execute_midquery(
+            plan,
+            database,
+            bindings,
+            workload.query.parameter_space,
+            policy=ReoptPolicy.parse(args.reopt),
+            execution_mode=args.execution_mode,
+            batch_size=args.batch_size,
+        )
+    else:
+        result = execute_plan(
+            plan,
+            database,
+            bindings,
+            workload.query.parameter_space,
+            execution_mode=args.execution_mode,
+            batch_size=args.batch_size,
+        )
     wall = time.perf_counter() - started
     io = result.io_snapshot
     print(
@@ -176,6 +228,8 @@ def _run(argv):
     )
     if result.decisions:
         print("  start-up decisions: %d" % len(result.decisions))
+    if mid_report is not None:
+        print(mid_report.render())
     return 0
 
 
@@ -340,9 +394,24 @@ def _explain(argv):
         help="run --analyze with this fault-injection profile "
         "installed (see python -m repro chaos for the names)",
     )
+    parser.add_argument(
+        "--reopt",
+        default=None,
+        metavar="SPEC",
+        help="run --analyze through mid-query re-optimization with "
+        "this policy (e.g. 'always'); the profile annotates the "
+        "final (possibly spliced) plan and the re-optimization "
+        "report follows it",
+    )
     args = parser.parse_args(argv)
 
+    if args.reopt is not None and not args.analyze:
+        print("explain: --reopt requires --analyze")
+        return 2
+
     from repro.common.errors import InjectedFaultError, QueryTimeoutError
+    from repro.executor.midquery import ReoptPolicy
+    from repro.observability.trace import Tracer
     from repro.resilience.faults import FaultInjector, fault_profile
 
     workload = paper_workload(args.query, seed=args.seed)
@@ -370,15 +439,28 @@ def _explain(argv):
     header = "EXPLAIN ANALYZE %s (%s plan, seed %d)" % (
         workload.name, "static" if args.static else "dynamic", args.seed
     )
+    mid_report = None
     try:
-        executed = explain_analyze(
-            result.plan,
-            database,
-            bindings,
-            workload.query.parameter_space,
-            execution_mode=args.execution_mode,
-            deadline=args.deadline,
-        )
+        if args.reopt is not None:
+            executed, mid_report = execute_midquery(
+                result.plan,
+                database,
+                bindings,
+                workload.query.parameter_space,
+                policy=ReoptPolicy.parse(args.reopt),
+                execution_mode=args.execution_mode,
+                tracer=Tracer(),
+                deadline=args.deadline,
+            )
+        else:
+            executed = explain_analyze(
+                result.plan,
+                database,
+                bindings,
+                workload.query.parameter_space,
+                execution_mode=args.execution_mode,
+                deadline=args.deadline,
+            )
     except QueryTimeoutError as error:
         print(header + " — TIMED OUT")
         io = error.io_snapshot or {}
@@ -403,6 +485,8 @@ def _explain(argv):
         return 1
     print(header)
     print(executed.profile.render(show_wall=args.wall))
+    if mid_report is not None:
+        print(mid_report.render())
     if injector is not None:
         print("fault injector: %r" % (injector.snapshot(),))
     return 0
@@ -530,6 +614,22 @@ def _chaos(argv):
         metavar="PATH",
         help="also write the JSON report to this file",
     )
+    parser.add_argument(
+        "--reopt",
+        default=None,
+        metavar="SPEC",
+        help="run the faulty service through mid-query "
+        "re-optimization with this policy (e.g. 'always'); the "
+        "baseline stays plain, so rows_match also checks that "
+        "re-optimization preserves results",
+    )
+    parser.add_argument(
+        "--skew",
+        default=None,
+        metavar="DECLARED:ACTUAL",
+        help="replace random bindings with lying selectivities "
+        "(e.g. 0.02:0.6) so re-decisions actually switch plans",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -542,6 +642,11 @@ def _chaos(argv):
     if not numbers or any(n not in (1, 2, 3, 4, 5) for n in numbers):
         print("chaos: query numbers must be between 1 and 5")
         return 2
+    skew = None
+    if args.skew is not None:
+        skew = _parse_skew(args.skew, "chaos")
+        if skew is None:
+            return 2
 
     try:
         report = run_chaos(
@@ -549,6 +654,8 @@ def _chaos(argv):
             query_numbers=numbers,
             seed=args.seed,
             execution_mode=args.execution_mode,
+            reopt=args.reopt,
+            skew=skew,
         )
     except ExecutionError as error:
         print("chaos: %s" % error)

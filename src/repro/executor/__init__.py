@@ -26,23 +26,37 @@ from repro.executor.engine import (
     ExecutionResult,
     execute_plan,
 )
+from repro.executor.midquery import (
+    BREAKER_KINDS,
+    BreakerEvent,
+    IncrementalDecider,
+    MidQueryReport,
+    ReoptPolicy,
+    execute_midquery,
+)
 from repro.executor.plan_store import PlanStore
 from repro.executor.shrinking import ShrinkingAccessModule
 from repro.executor.startup import StartupReport, activate_plan, resolve_dynamic_plan
 from repro.executor.validation import node_is_feasible, validate_plan
 
 __all__ = [
+    "BREAKER_KINDS",
     "EXECUTION_MODES",
     "AccessModule",
     "AdaptiveExecutor",
     "AdaptiveReport",
+    "BreakerEvent",
     "CompiledPlanProgram",
     "ExecutionContext",
     "ExecutionResult",
     "FusedPipeline",
+    "IncrementalDecider",
+    "MidQueryReport",
     "PlanStore",
+    "ReoptPolicy",
     "build_compiled_iterator",
     "compile_plan",
+    "execute_midquery",
     "ShrinkingAccessModule",
     "StartupReport",
     "activate_plan",

@@ -383,6 +383,9 @@ class CompiledPlanProgram:
         self.requests = 0
         #: Code-generation runs (lookup misses).
         self.compilations = 0
+        #: Factory entries dropped by mid-query switches
+        #: (:meth:`invalidate_downstream`).
+        self.invalidations = 0
 
     def pipeline_factory(self, steps):
         """The generated function for a chain, compiling on first use."""
@@ -428,6 +431,72 @@ class CompiledPlanProgram:
             elif isinstance(node, Materialized):
                 stack.append(node.original)
         return self
+
+    def _pipelines(self, plan):
+        """Every ``(top_node, steps)`` pipeline reachable from ``plan``."""
+        seen = set()
+        stack = [plan]
+        found = []
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node is None:
+                continue
+            seen.add(id(node))
+            steps, source = pipeline_chain(node)
+            if steps:
+                found.append((node, steps))
+                for kind, step_node in steps:
+                    if kind == "probe":
+                        stack.append(step_node.build)
+                stack.append(source)
+            elif isinstance(node, Sort):
+                stack.append(node.input)
+            elif isinstance(node, MergeJoin):
+                stack.extend((node.left, node.right))
+            elif isinstance(node, IndexJoin):
+                stack.append(node.outer)
+            elif isinstance(node, ChoosePlan):
+                stack.extend(node.alternatives)
+            elif isinstance(node, Materialized):
+                stack.append(node.original)
+        return found
+
+    def invalidate_downstream(self, plan, breaker):
+        """Drop fused pipelines downstream of a pipeline breaker.
+
+        The mid-query re-optimizer's invalidation contract: after a
+        plan switch at ``breaker``, every generated pipeline on the
+        path from ``plan``'s root down to the breaker may no longer
+        match the spliced plan's operator chains, so their factory
+        entries are dropped and will recompile on demand.  Chain keys
+        are structural, so a dropped key that some unchanged subtree
+        happens to share simply recompiles once more — correctness
+        never depends on the cache.  Returns the number of entries
+        dropped.
+        """
+        parents = {}
+        for node in plan.walk_unique():
+            for child in node.inputs():
+                parents.setdefault(id(child), []).append(node)
+        ancestors = set()
+        queue = list(parents.get(id(breaker), ()))
+        while queue:
+            node = queue.pop()
+            if id(node) in ancestors:
+                continue
+            ancestors.add(id(node))
+            queue.extend(parents.get(id(node), ()))
+        dropped = 0
+        with self._lock:
+            for top, steps in self._pipelines(plan):
+                if id(top) not in ancestors:
+                    continue
+                key = chain_key(steps)
+                if key in self._factories:
+                    del self._factories[key]
+                    dropped += 1
+            self.invalidations += dropped
+        return dropped
 
     def __len__(self):
         with self._lock:

@@ -24,7 +24,7 @@ from repro.common.errors import ServiceExecutionError
 from repro.resilience.faults import FaultInjector, fault_profile
 from repro.resilience.policy import ResiliencePolicy, RetryPolicy
 from repro.storage.database import Database
-from repro.workloads import paper_workload, random_bindings
+from repro.workloads import paper_workload, random_bindings, skewed_bindings
 
 #: Queries the harness replays when none are named.
 DEFAULT_QUERIES = (1, 2, 3, 4, 5)
@@ -103,11 +103,16 @@ class QueryOutcome:
 class ChaosReport:
     """The harness's verdict over a whole workload."""
 
-    def __init__(self, profile, seed, execution_mode, outcomes):
+    def __init__(self, profile, seed, execution_mode, outcomes,
+                 reopt=None, skew=None):
         self.profile = profile
         self.seed = seed
         self.execution_mode = execution_mode
         self.outcomes = list(outcomes)
+        #: Mid-query re-optimization policy dict, or None when off.
+        self.reopt = reopt
+        #: ``(declared, actual)`` selectivity skew, or None.
+        self.skew = skew
 
     @property
     def passed(self):
@@ -120,6 +125,8 @@ class ChaosReport:
             "profile": self.profile.to_dict(),
             "seed": self.seed,
             "execution_mode": self.execution_mode,
+            "reopt": self.reopt,
+            "skew": list(self.skew) if self.skew is not None else None,
             "queries": [outcome.to_dict() for outcome in self.outcomes],
             "passed": self.passed,
         }
@@ -192,21 +199,42 @@ def _fresh_service(workload, data_seed, resilience):
 
 def run_chaos(profile_name, query_numbers=DEFAULT_QUERIES, seed=0,
               execution_mode="row", data_seed=11, max_retries=3,
-              max_degradations=2):
+              max_degradations=2, reopt=None, skew=None):
     """Replay the paper queries under a named profile; a ChaosReport.
 
     Each query gets its own baseline and faulty databases (identically
     seeded) and its own injector, so faults in one query cannot leak
     operations into another.  Backoff delays are zeroed and sleeps are
     no-ops: the harness tests *outcomes*, not schedules.
+
+    ``reopt`` (a :class:`~repro.executor.midquery.ReoptPolicy` or spec
+    string) routes the *faulty* service's executions through mid-query
+    re-optimization, so injected faults land during checkpoint drains
+    and re-decision passes; the baseline stays plain, which keeps
+    ``rows_match`` meaningful — re-optimization must never change the
+    result multiset.  ``skew`` is an optional ``(declared, actual)``
+    selectivity pair replacing the random bindings with lying ones
+    (see :func:`~repro.workloads.bindings.skewed_bindings`), forcing
+    observed cardinalities away from their estimates so re-decisions
+    actually switch plans under fault pressure.
     """
+    from repro.executor.midquery import ReoptPolicy
+
     profile = fault_profile(profile_name)
+    if reopt is not None and not isinstance(reopt, ReoptPolicy):
+        reopt = ReoptPolicy.parse(reopt)
     expects_failure = any(rule.kind == "permanent" for rule in profile.rules)
     expected = "fail-fast" if expects_failure else "complete"
     outcomes = []
     for number in query_numbers:
         workload = paper_workload(number, memory_uncertain=True)
-        bindings = random_bindings(workload, seed=seed, run_index=0)
+        if skew is not None:
+            declared, actual = skew
+            bindings = skewed_bindings(
+                workload, declared=declared, actual=actual, seed=seed
+            )
+        else:
+            bindings = random_bindings(workload, seed=seed, run_index=0)
 
         baseline_db, baseline_service = _fresh_service(
             workload, data_seed, ResiliencePolicy()
@@ -244,6 +272,7 @@ def run_chaos(profile_name, query_numbers=DEFAULT_QUERIES, seed=0,
                     workload.query,
                     bindings.copy(),
                     execution_mode=execution_mode,
+                    reopt_policy=reopt,
                 )
             except ServiceExecutionError as error:
                 outcome.outcome = "failed"
@@ -262,4 +291,11 @@ def run_chaos(profile_name, query_numbers=DEFAULT_QUERIES, seed=0,
         finally:
             faulty_service.shutdown()
         outcomes.append(outcome)
-    return ChaosReport(profile, seed, execution_mode, outcomes)
+    return ChaosReport(
+        profile,
+        seed,
+        execution_mode,
+        outcomes,
+        reopt=reopt.to_dict() if reopt is not None and reopt.active else None,
+        skew=tuple(skew) if skew is not None else None,
+    )

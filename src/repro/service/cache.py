@@ -104,6 +104,11 @@ class PlanCacheEntry:
         self.observed = {}
         self.hits = 0
         self.reoptimizations = 0
+        #: Mid-query re-decision passes run over this plan's breakers
+        #: (see :mod:`repro.executor.midquery`).
+        self.midquery_redecisions = 0
+        #: Mid-query passes that switched to a cheaper alternative.
+        self.midquery_switches = 0
         #: Conservative static plan compiled on demand when graceful
         #: degradation exhausts its restart budget (see
         #: :mod:`repro.resilience`); ``None`` until first needed.

@@ -44,6 +44,12 @@ from repro.common.errors import (
 from repro.common.stats import percentile
 from repro.cost.parameters import MEMORY_PARAMETER
 from repro.executor.engine import EXECUTION_MODES, execute_plan
+from repro.executor.midquery import (
+    IncrementalDecider,
+    ReoptPolicy,
+    execute_midquery,
+    startup_report_from_outcome,
+)
 from repro.executor.startup import activate_plan
 from repro.resilience.deadline import Deadline
 from repro.resilience.policy import ResiliencePolicy
@@ -60,6 +66,13 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
+
+def _coerce_reopt(policy):
+    """None / spec string / ReoptPolicy -> optional ReoptPolicy."""
+    if policy is None or isinstance(policy, ReoptPolicy):
+        return policy
+    return ReoptPolicy.parse(policy)
+
 #: Resilience outcome counters the service always tracks (the metrics
 #: registry mirrors them when one is attached).
 RESILIENCE_COUNTERS = (
@@ -71,6 +84,10 @@ RESILIENCE_COUNTERS = (
     "breaker_trips",
     "breaker_short_circuits",
     "decision_fallbacks",
+    "midquery_checkpoints",
+    "midquery_redecisions",
+    "midquery_switches",
+    "incremental_redecisions",
 )
 
 
@@ -84,6 +101,7 @@ class ServiceRequest:
         "tag",
         "execution_mode",
         "deadline_seconds",
+        "reopt_policy",
     )
 
     def __init__(
@@ -94,6 +112,7 @@ class ServiceRequest:
         tag=None,
         execution_mode=None,
         deadline_seconds=None,
+        reopt_policy=None,
     ):
         self.query = query
         self.bindings = bindings
@@ -106,6 +125,11 @@ class ServiceRequest:
         #: Per-request deadline in seconds; None inherits the
         #: resilience policy's service-wide default.
         self.deadline_seconds = deadline_seconds
+        #: Per-request mid-query re-optimization policy
+        #: (:class:`~repro.executor.midquery.ReoptPolicy`, or a spec
+        #: string for :meth:`ReoptPolicy.parse`); None inherits the
+        #: service default.
+        self.reopt_policy = reopt_policy
 
     def __repr__(self):
         return "ServiceRequest(%s, tag=%r)" % (self.query.name, self.tag)
@@ -296,6 +320,13 @@ class QueryService:
         mid-run degradation budget, and the default query deadline.
         ``None`` uses the policy defaults (retries on, breaker off, no
         deadline), which leave fault-free behaviour untouched.
+    reopt_policy:
+        Service-wide default
+        :class:`~repro.executor.midquery.ReoptPolicy` (or a spec
+        string for :meth:`~repro.executor.midquery.ReoptPolicy.parse`)
+        governing mid-query re-optimization at pipeline breakers.
+        ``None`` (the default) disables it; individual requests
+        override it per invocation.
     """
 
     def __init__(
@@ -314,6 +345,7 @@ class QueryService:
         batch_size=None,
         compile_pipelines=False,
         resilience=None,
+        reopt_policy=None,
     ):
         if optimize is None:
             from repro.optimizer.optimizer import optimize_dynamic
@@ -337,6 +369,7 @@ class QueryService:
         self.metrics = metrics
         self.tracer = tracer
         self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        self.reopt_policy = _coerce_reopt(reopt_policy)
         self._optimize = optimize
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -417,6 +450,7 @@ class QueryService:
         tag=None,
         execution_mode=None,
         deadline_seconds=None,
+        reopt_policy=None,
     ):
         """Serve one invocation synchronously on the calling thread.
 
@@ -430,7 +464,14 @@ class QueryService:
         info = {"cache_hit": None, "attempts": 0}
         try:
             return self._run(
-                query, bindings, execute, tag, execution_mode, deadline_seconds, info
+                query,
+                bindings,
+                execute,
+                tag,
+                execution_mode,
+                deadline_seconds,
+                reopt_policy,
+                info,
             )
         except ReproError as error:
             raise ServiceExecutionError(
@@ -452,6 +493,7 @@ class QueryService:
         tag,
         execution_mode=None,
         deadline_seconds=None,
+        reopt_policy=None,
         info=None,
     ):
         started = time.perf_counter()
@@ -509,6 +551,11 @@ class QueryService:
             mode = self.execution_mode if execution_mode is None else execution_mode
             if deadline_seconds is None:
                 deadline_seconds = self.resilience.deadline_seconds
+            reopt = (
+                self.reopt_policy
+                if reopt_policy is None
+                else _coerce_reopt(reopt_policy)
+            )
             execution, chosen, report = self._execute_with_resilience(
                 entry,
                 chosen,
@@ -519,6 +566,7 @@ class QueryService:
                 bindings,
                 mode,
                 Deadline.ensure(deadline_seconds),
+                reopt,
                 info,
             )
 
@@ -607,6 +655,26 @@ class QueryService:
                     entry.pipelines.precompile(entry.plan)
             return entry.pipelines
 
+    def _note_midquery(self, entry, mid_report):
+        """Fold a mid-query report into service and entry counters."""
+        if mid_report.checkpoints:
+            self._count("midquery_checkpoints", mid_report.checkpoints)
+        if mid_report.redecisions:
+            self._count("midquery_redecisions", mid_report.redecisions)
+        if mid_report.switches:
+            self._count("midquery_switches", mid_report.switches)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "midquery_switch",
+                    level="info",
+                    digest=entry.digest,
+                    switches=mid_report.switches,
+                    pipelines_invalidated=mid_report.pipelines_invalidated,
+                )
+        with entry.lock:
+            entry.midquery_redecisions += mid_report.redecisions
+            entry.midquery_switches += mid_report.switches
+
     def _decide(self, decision, plan, parameter_space, bindings):
         """The start-up decision: compiled program or interpreted pass."""
         if decision is not None:
@@ -631,17 +699,25 @@ class QueryService:
         bindings,
         mode,
         deadline,
+        reopt,
         info,
     ):
         """Run the chosen plan, retrying and degrading per the policy.
 
         * transient faults retry with exponential backoff (sleeping
           outside the database lock) up to the retry budget;
-        * a mid-run memory drop re-invokes the choose-plan decision
-          procedure under the shrunk grant — the paper's start-up
-          decision, re-run mid-flight — and restarts on the re-decided
-          alternative; past ``max_degradations`` restarts the service
-          activates the conservative static fallback plan instead;
+        * with an active ``reopt`` policy the run goes through
+          :func:`~repro.executor.midquery.execute_midquery`: pipeline
+          breakers checkpoint their results and may splice in a
+          cheaper alternative mid-flight (the mid-query report rides
+          on ``execution.midquery``);
+        * a mid-run memory drop re-decides the choose-plans under the
+          shrunk grant through the *incremental* re-decision path —
+          only memo groups the memory grant can reach are re-costed —
+
+          and restarts on the re-decided alternative; past
+          ``max_degradations`` restarts the service activates the
+          conservative static fallback plan instead;
         * permanent faults and deadline expiry fail fast, typed.
 
         Returns ``(execution, chosen, report)`` reflecting the plan
@@ -652,23 +728,49 @@ class QueryService:
         degradations = 0
         use_compiled = mode == "compiled" or self.compile_pipelines
         program = self._pipelines_for(entry) if use_compiled else None
+        use_midquery = reopt is not None and reopt.active
+        #: Incremental decider, created on the first memory drop and
+        #: kept across retries so later drops re-cost even less.
+        incremental = None
         while True:
             if info is not None:
                 info["attempts"] += 1
             try:
                 with self._db_lock:
-                    execution = execute_plan(
-                        chosen,
-                        self.database,
-                        bindings,
-                        parameter_space,
-                        tracer=self.tracer,
-                        execution_mode=mode,
-                        batch_size=self.batch_size,
-                        deadline=deadline,
-                        compile_pipelines=self.compile_pipelines,
-                        compiled_program=program,
-                    )
+                    if use_midquery:
+                        execution, mid_report = execute_midquery(
+                            plan,
+                            self.database,
+                            bindings,
+                            parameter_space,
+                            policy=reopt,
+                            tracer=self.tracer,
+                            execution_mode=mode,
+                            batch_size=self.batch_size,
+                            deadline=deadline,
+                            compile_pipelines=self.compile_pipelines,
+                            compiled_program=program,
+                            choices=(
+                                report.choices if report is not None else None
+                            ),
+                        )
+                    else:
+                        execution = execute_plan(
+                            chosen,
+                            self.database,
+                            bindings,
+                            parameter_space,
+                            tracer=self.tracer,
+                            execution_mode=mode,
+                            batch_size=self.batch_size,
+                            deadline=deadline,
+                            compile_pipelines=self.compile_pipelines,
+                            compiled_program=program,
+                        )
+                if use_midquery:
+                    execution.midquery = mid_report
+                    chosen = mid_report.final_plan
+                    self._note_midquery(entry, mid_report)
                 return execution, chosen, report
             except TransientIOError as error:
                 if transient_retries >= retry.max_retries:
@@ -687,6 +789,7 @@ class QueryService:
             except MemoryDropError as error:
                 degradations += 1
                 self._count("degradations")
+                previous_bindings = bindings
                 bindings = bindings.copy().bind(
                     MEMORY_PARAMETER, error.new_memory_pages
                 )
@@ -703,6 +806,7 @@ class QueryService:
                     fallback = self._fallback_plan(entry)
                 if fallback is not None:
                     chosen, report = fallback, None
+                    use_midquery = False
                     self._count("fallback_activations")
                     if self.tracer is not None:
                         self.tracer.event(
@@ -711,9 +815,28 @@ class QueryService:
                             digest=entry.digest,
                         )
                 else:
-                    chosen, report = self._decide(
-                        decision, plan, parameter_space, bindings
+                    if incremental is None:
+                        # First drop: build the decider's memo tables
+                        # under the pre-drop bindings (one full pass,
+                        # re-stating the start-up decision already
+                        # made), so the re-decision below re-costs
+                        # only the memory-sensitive memo groups
+                        # instead of re-running the whole start-up
+                        # decision from scratch.
+                        incremental = IncrementalDecider(
+                            plan,
+                            self.catalog,
+                            parameter_space,
+                            previous_bindings,
+                        )
+                        incremental.decide()
+                    incremental.rebind(bindings, (MEMORY_PARAMETER,))
+                    outcome = incremental.decide()
+                    chosen = outcome.plan
+                    report = startup_report_from_outcome(
+                        outcome, plan.node_count()
                     )
+                    self._count("incremental_redecisions")
             except PermanentIOError as error:
                 self._count("permanent_failures")
                 if self.tracer is not None:
@@ -761,6 +884,7 @@ class QueryService:
         tag=None,
         execution_mode=None,
         deadline_seconds=None,
+        reopt_policy=None,
     ):
         """Serve one invocation on the pool; returns a Future."""
         return self._pool.submit(
@@ -771,6 +895,7 @@ class QueryService:
             tag,
             execution_mode,
             deadline_seconds,
+            reopt_policy,
         )
 
     def run_batch(self, requests):
@@ -788,6 +913,7 @@ class QueryService:
                 request.tag,
                 request.execution_mode,
                 request.deadline_seconds,
+                request.reopt_policy,
             )
             for request in requests
         ]

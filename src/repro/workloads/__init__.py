@@ -1,7 +1,11 @@
 """Experimental workloads: the paper's five queries and run-time
 binding generators (paper Section 6)."""
 
-from repro.workloads.bindings import binding_series, random_bindings
+from repro.workloads.bindings import (
+    binding_series,
+    random_bindings,
+    skewed_bindings,
+)
 from repro.workloads.queries import (
     PAPER_QUERY_SIZES,
     Workload,
@@ -16,4 +20,5 @@ __all__ = [
     "make_join_workload",
     "paper_workload",
     "random_bindings",
+    "skewed_bindings",
 ]

@@ -54,6 +54,53 @@ def random_bindings(workload, seed=0, run_index=0):
     return bindings
 
 
+def skewed_bindings(workload, declared=0.02, actual=0.6, seed=0):
+    """Bindings whose declared selectivities lie about the data.
+
+    Every uncertain selection parameter is *declared* as ``declared``
+    (what the start-up decision procedures are told) while the bound
+    user-variable value implies an *actual* selectivity of ``actual``
+    — the data really qualifies at that rate.  The start-up decision
+    therefore optimizes for the wrong cardinalities, and the first
+    pipeline breaker observes the divergence: the scenario mid-query
+    re-optimization exists for.  Both rates are clamped to each
+    predicate's compile-time bounds so no *staleness* machinery
+    triggers — the lie is only visible at run time.
+
+    ``seed`` jitters nothing; it is accepted for signature parity with
+    :func:`random_bindings` and reserved for future per-relation skew.
+    """
+    del seed
+    query = workload.query
+    catalog = workload.catalog
+    bindings = Bindings()
+    for relation_name in query.relations:
+        predicate = query.selection_for(relation_name)
+        if predicate is None:
+            continue
+        domain = catalog.domain_size(relation_name, SELECTION_ATTRIBUTE)
+        variable = predicate.comparison.operand
+        if not predicate.is_uncertain:
+            if hasattr(variable, "name"):
+                bindings.bind_variable(
+                    variable.name, predicate.known_selectivity * domain
+                )
+            continue
+        bounds = predicate.selectivity_bounds
+        told = min(max(declared, bounds.lower), bounds.upper)
+        truth = min(max(actual, bounds.lower), bounds.upper)
+        bindings.bind(predicate.selectivity_parameter, told)
+        if hasattr(variable, "name"):
+            bindings.bind_variable(variable.name, truth * domain)
+    memory_parameter = query.parameter_space.get(MEMORY_PARAMETER)
+    if memory_parameter.uncertain:
+        bindings.bind(
+            MEMORY_PARAMETER,
+            int(round(memory_parameter.expected)),
+        )
+    return bindings
+
+
 def binding_series(workload, count=100, seed=0):
     """The paper's N independent binding sets (N = 100 by default)."""
     return [

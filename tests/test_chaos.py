@@ -122,6 +122,63 @@ class TestDeterminism:
         assert rows_digest([a]) != rows_digest([b])
 
 
+class TestMidQueryChaos:
+    """Fault injection composed with mid-query re-optimization."""
+
+    def test_memory_drop_with_reopt_keeps_counters_consistent(self):
+        report = run_chaos("memory-drop", query_numbers=(3,), reopt="always")
+        assert report.passed, report.render()
+        (outcome,) = report.outcomes
+        assert outcome.rows_match
+        counts = outcome.resilience
+        assert counts["degradations"] == 1
+        assert counts["midquery_checkpoints"] >= 1
+        assert counts["midquery_redecisions"] >= 1
+        assert counts["incremental_redecisions"] >= 1
+
+    def test_degradation_routes_through_incremental_redecision(self):
+        """The memory-drop path re-decides incrementally, even reopt-off."""
+        report = run_chaos("memory-drop", query_numbers=(2, 3))
+        assert report.passed, report.render()
+        for outcome in report.outcomes:
+            assert outcome.resilience["degradations"] == 1
+            assert outcome.resilience["incremental_redecisions"] == 1
+
+    def test_skewed_bindings_force_midquery_switches(self):
+        report = run_chaos(
+            "none", query_numbers=(3,), reopt="always", skew=(0.02, 0.6)
+        )
+        assert report.passed, report.render()
+        (outcome,) = report.outcomes
+        assert outcome.rows_match
+        assert outcome.resilience["midquery_switches"] >= 1
+        data = report.to_dict()
+        assert data["reopt"]["mode"] == "always"
+        assert data["skew"] == [0.02, 0.6]
+
+    def test_faults_during_reopt_reports_stay_byte_identical(self):
+        first = run_chaos(
+            "transient-and-drop",
+            query_numbers=(3,),
+            reopt="always",
+            skew=(0.02, 0.6),
+        )
+        second = run_chaos(
+            "transient-and-drop",
+            query_numbers=(3,),
+            reopt="always",
+            skew=(0.02, 0.6),
+        )
+        assert first.passed, first.render()
+        assert first.to_json() == second.to_json()
+
+    def test_reopt_off_report_has_null_fields(self):
+        report = run_chaos("none", query_numbers=(1,))
+        data = report.to_dict()
+        assert data["reopt"] is None
+        assert data["skew"] is None
+
+
 class TestChaosCli:
     def test_json_report_and_exit_zero(self, capsys):
         code = main(
@@ -162,3 +219,31 @@ class TestChaosCli:
     def test_bad_query_numbers_exit_2(self, capsys):
         assert main(["chaos", "--queries", "9"]) == 2
         assert main(["chaos", "--queries", "x"]) == 2
+
+    def test_reopt_and_skew_flags(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--profile",
+                "none",
+                "--queries",
+                "3",
+                "--reopt",
+                "always",
+                "--skew",
+                "0.02:0.6",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True
+        assert data["reopt"]["mode"] == "always"
+        assert data["skew"] == [0.02, 0.6]
+        (query,) = data["queries"]
+        assert query["resilience"]["midquery_switches"] >= 1
+
+    def test_bad_skew_exits_2(self, capsys):
+        assert main(["chaos", "--skew", "nope"]) == 2
+        assert main(["chaos", "--skew", "0.1:0.2:0.3"]) == 2
+        assert "DECLARED:ACTUAL" in capsys.readouterr().out

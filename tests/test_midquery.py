@@ -1,0 +1,427 @@
+"""Mid-query re-optimization: the differential and property harness.
+
+The backbone is the differential suite: for every paper query, in all
+three execution modes, a run that re-decides at *every* pipeline
+breaker (``ReoptPolicy("always")``) must return the same row multiset
+— and, at the pinned seed, byte-identical I/O-charge totals — as a
+run that never re-decides.  Checkpoints replay for free and operators
+charge per record drained, so visiting breakers is invisible to the
+accounting unless a re-decision actually changes the remainder plan.
+
+The property layer (Hypothesis, reusing the random-workload strategy
+from ``test_property_random_queries``) pins the decision invariants:
+in ``auto`` mode an observation inside its compile-time interval never
+triggers a re-decision, and any re-decision picks an alternative whose
+re-costed value is no worse than the incumbent's.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from tests.test_property_random_queries import workloads
+
+from repro.algebra.physical import HashJoin, Materialized
+from repro.common.errors import ExecutionError
+from repro.cost.parameters import MEMORY_PARAMETER
+from repro.executor import execute_plan, validate_plan
+from repro.executor.compiled import CompiledPlanProgram
+from repro.executor.midquery import (
+    BREAKER_KINDS,
+    IncrementalDecider,
+    ReoptPolicy,
+    execute_midquery,
+    startup_report_from_outcome,
+)
+from repro.optimizer import optimize_dynamic
+from repro.catalog import populate_database
+from repro.resilience.chaos import rows_digest
+from repro.storage.database import Database
+from repro.workloads import paper_workload, random_bindings, skewed_bindings
+
+#: Data-population seed shared with the chaos harness.
+DATA_SEED = 11
+#: Binding seed of the full rows-plus-I/O identity fixture: at this
+#: seed every paper query is identical across forced and suppressed
+#: runs in all three modes, *including* queries where forcing makes
+#: genuine switches (the remainder plans re-decide to the incumbent
+#: shape, so the accounting cannot diverge).
+IDENTITY_SEED = 3
+
+PAPER_QUERIES = (1, 2, 3, 4, 5)
+MODES = ("row", "batch", "compiled")
+
+
+def _setup(number, seed=IDENTITY_SEED, skew=None):
+    workload = paper_workload(number, memory_uncertain=True)
+    plan = optimize_dynamic(workload.catalog, workload.query).plan
+    if skew is not None:
+        bindings = skewed_bindings(
+            workload, declared=skew[0], actual=skew[1], seed=seed
+        )
+    else:
+        bindings = random_bindings(workload, seed=seed)
+    return workload, plan, bindings
+
+
+def _fresh_database(workload, seed=DATA_SEED):
+    database = Database(workload.catalog)
+    populate_database(database, seed=seed)
+    return database
+
+
+def _run_plain(workload, plan, bindings, mode):
+    database = _fresh_database(workload)
+    return execute_plan(
+        plan,
+        database,
+        bindings.copy(),
+        workload.query.parameter_space,
+        execution_mode=mode,
+    )
+
+
+def _run_midquery(workload, plan, bindings, mode, policy, **kwargs):
+    database = _fresh_database(workload)
+    return execute_midquery(
+        plan,
+        database,
+        bindings.copy(),
+        workload.query.parameter_space,
+        policy=policy,
+        execution_mode=mode,
+        **kwargs,
+    )
+
+
+class TestReoptPolicy:
+    def test_defaults(self):
+        policy = ReoptPolicy()
+        assert policy.mode == "auto"
+        assert policy.breakers == BREAKER_KINDS
+        assert policy.on_switch == "splice"
+        assert policy.active
+
+    @pytest.mark.parametrize("text", ("", "off", None))
+    def test_parse_off(self, text):
+        assert not ReoptPolicy.parse(text).active
+
+    def test_parse_modes_and_strategies(self):
+        assert ReoptPolicy.parse("auto").mode == "auto"
+        assert ReoptPolicy.parse("always").mode == "always"
+        restart = ReoptPolicy.parse("always+restart")
+        assert restart.mode == "always"
+        assert restart.on_switch == "restart"
+
+    def test_parse_breaker_subset(self):
+        policy = ReoptPolicy.parse("auto:sort,hash_build")
+        assert policy.breakers == ("sort", "hash_build")
+
+    @pytest.mark.parametrize(
+        "text", ("sometimes", "auto:everywhere", "always+undo")
+    )
+    def test_parse_rejects_bad_specs(self, text):
+        with pytest.raises(ExecutionError):
+            ReoptPolicy.parse(text)
+
+    def test_to_dict_round_trips_the_spec(self):
+        policy = ReoptPolicy.parse("always+restart:sort")
+        assert policy.to_dict() == {
+            "mode": "always",
+            "breakers": ["sort"],
+            "on_switch": "restart",
+        }
+
+
+class TestDifferentialIdentity:
+    """Forced re-decisions == suppressed re-decisions, per query × mode."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("number", PAPER_QUERIES)
+    def test_rows_and_io_identical(self, number, mode):
+        workload, plan, bindings = _setup(number)
+        plain = _run_plain(workload, plan, bindings, mode)
+        forced, report = _run_midquery(
+            workload, plan, bindings, mode, ReoptPolicy("always")
+        )
+        assert rows_digest(forced.records) == rows_digest(plain.records)
+        assert forced.io_snapshot == plain.io_snapshot
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("number", PAPER_QUERIES)
+    def test_final_plan_is_valid_and_fully_decided(self, number, mode):
+        workload, plan, bindings = _setup(number)
+        _, report = _run_midquery(
+            workload, plan, bindings, mode, ReoptPolicy("always")
+        )
+        final = report.final_plan
+        assert final.choose_plan_count() == 0
+        validate_plan(final, workload.catalog)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("number", (2, 3, 5))
+    def test_rows_identical_across_seed_sweep(self, number, seed):
+        """Row multisets agree even when forcing makes genuine switches.
+
+        Across this sweep some seeds re-decide onto *different*
+        remainder plans (so I/O legitimately differs — usually
+        improving); the result multiset never may.
+        """
+        workload, plan, bindings = _setup(number, seed=seed)
+        plain = _run_plain(workload, plan, bindings, "row")
+        forced, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        assert rows_digest(forced.records) == rows_digest(plain.records)
+        if report.switches == 0:
+            assert forced.io_snapshot == plain.io_snapshot
+
+    def test_off_policy_is_plain_execution(self):
+        workload, plan, bindings = _setup(3)
+        plain = _run_plain(workload, plan, bindings, "row")
+        off, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("off")
+        )
+        assert report.checkpoints == 0
+        assert report.final_plan is plan
+        assert off.io_snapshot == plain.io_snapshot
+        assert rows_digest(off.records) == rows_digest(plain.records)
+
+
+class TestCheckpointReuse:
+    """A switch continues over the checkpoints; only restart re-reads."""
+
+    def test_skew_forces_switches_with_identical_rows(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        plain = _run_plain(workload, plan, bindings, "row")
+        forced, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        assert report.switches >= 1
+        assert rows_digest(forced.records) == rows_digest(plain.records)
+
+    def test_splice_keeps_checkpoints_in_final_plan(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        _, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        assert any(
+            isinstance(node, Materialized)
+            for node in report.final_plan.walk_unique()
+        )
+
+    def test_splice_never_rereads_drained_work(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        spliced, splice_report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        restarted, restart_report = _run_midquery(
+            workload,
+            plan,
+            bindings,
+            "row",
+            ReoptPolicy("always", on_switch="restart"),
+        )
+        assert splice_report.switches >= 1
+        assert restart_report.restarted
+        assert not any(
+            isinstance(node, Materialized)
+            for node in restart_report.final_plan.walk_unique()
+        )
+        assert rows_digest(spliced.records) == rows_digest(restarted.records)
+        assert (
+            spliced.io_snapshot["pages_read"]
+            < restarted.io_snapshot["pages_read"]
+        )
+
+    def test_breaker_events_record_observations(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        _, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        assert report.checkpoints == len(report.breakers)
+        assert report.violations >= 1
+        for event in report.breakers:
+            assert event.kind in BREAKER_KINDS
+            assert event.observed >= 0
+            assert event.violated == (
+                not event.estimate.contains(event.observed)
+            )
+        data = report.to_dict()
+        assert data["switches"] == report.switches
+        assert len(data["breakers"]) == report.checkpoints
+
+
+class TestCompiledInvalidation:
+    """A switch drops fused pipelines downstream of the breaker."""
+
+    def test_switch_invalidates_downstream_pipelines(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        database = _fresh_database(workload)
+        program = CompiledPlanProgram().precompile(plan)
+        _, report = execute_midquery(
+            plan,
+            database,
+            bindings.copy(),
+            workload.query.parameter_space,
+            policy=ReoptPolicy("always"),
+            execution_mode="compiled",
+            compile_pipelines=True,
+            compiled_program=program,
+        )
+        assert report.switches >= 1
+        assert report.pipelines_invalidated >= 1
+        assert program.invalidations == report.pipelines_invalidated
+
+    def test_invalidate_downstream_drops_only_ancestors(self):
+        workload, plan, bindings = _setup(3)
+        # Resolve statically to get a concrete joined plan.
+        from repro.executor.startup import resolve_dynamic_plan
+
+        static, _ = resolve_dynamic_plan(
+            plan, workload.catalog, workload.query.parameter_space, bindings
+        )
+        joins = [
+            node
+            for node in static.walk_unique()
+            if isinstance(node, HashJoin)
+        ]
+        if not joins:
+            pytest.skip("resolved plan has no hash join")
+        program = CompiledPlanProgram().precompile(static)
+        before = dict(program._factories)
+        dropped = program.invalidate_downstream(static, joins[0].build)
+        assert dropped >= 1
+        assert program.invalidations == dropped
+        assert len(program._factories) == len(before) - dropped
+
+    def test_invalidated_pipelines_recompile_on_demand(self):
+        workload, plan, bindings = _setup(3, seed=0, skew=(0.02, 0.6))
+        program = CompiledPlanProgram()
+        forced, report = _run_midquery(
+            workload,
+            plan,
+            bindings,
+            "compiled",
+            ReoptPolicy("always"),
+            compile_pipelines=True,
+            compiled_program=program,
+        )
+        plain = _run_plain(workload, plan, bindings, "compiled")
+        assert rows_digest(forced.records) == rows_digest(plain.records)
+
+
+class TestIncrementalDecider:
+    def test_first_decide_matches_startup_resolution(self):
+        from repro.executor.startup import resolve_dynamic_plan
+
+        workload, plan, bindings = _setup(3)
+        decider = IncrementalDecider(
+            plan, workload.catalog, workload.query.parameter_space, bindings
+        )
+        outcome = decider.decide()
+        chosen, _ = resolve_dynamic_plan(
+            plan, workload.catalog, workload.query.parameter_space, bindings
+        )
+        assert outcome.plan.signature() == chosen.signature()
+        assert len(outcome.decided) == plan.choose_plan_count()
+        assert outcome.cost_evaluations > 0
+
+    def test_second_decide_is_fully_cached(self):
+        workload, plan, bindings = _setup(3)
+        decider = IncrementalDecider(
+            plan, workload.catalog, workload.query.parameter_space, bindings
+        )
+        first = decider.decide()
+        second = decider.decide()
+        assert second.plan is first.plan
+        assert second.cost_evaluations == 0
+        assert not second.decided
+
+    def test_memory_rebind_recosts_fewer_groups_than_fresh(self):
+        workload, plan, bindings = _setup(3)
+        space = workload.query.parameter_space
+        memory = space.get(MEMORY_PARAMETER)
+        dropped = bindings.copy().bind(
+            MEMORY_PARAMETER, max(int(memory.bounds.lower), 1)
+        )
+
+        incremental = IncrementalDecider(
+            plan, workload.catalog, space, bindings
+        )
+        incremental.decide()
+        incremental.rebind(dropped, (MEMORY_PARAMETER,))
+        warm = incremental.decide()
+
+        fresh = IncrementalDecider(
+            plan, workload.catalog, space, dropped
+        ).decide()
+        assert warm.plan.signature() == fresh.plan.signature()
+        assert warm.cost_evaluations < fresh.cost_evaluations
+
+    def test_startup_report_adapter_carries_reuse(self):
+        workload, plan, bindings = _setup(2)
+        decider = IncrementalDecider(
+            plan, workload.catalog, workload.query.parameter_space, bindings
+        )
+        outcome = decider.decide()
+        report = startup_report_from_outcome(outcome, plan.node_count())
+        assert report.decisions == len(outcome.decided)
+        assert report.cost_evaluations == outcome.cost_evaluations
+        assert report.node_count == plan.node_count()
+        assert report.reused_decisions == outcome.reused
+
+
+class TestMidQueryProperties:
+    """Hypothesis invariants over random workloads."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads(), binding_seed=st.integers(0, 1000))
+    def test_in_interval_observations_never_redecide(
+        self, workload, binding_seed
+    ):
+        plan = optimize_dynamic(workload.catalog, workload.query).plan
+        bindings = random_bindings(workload, seed=binding_seed)
+        plain = _run_plain(workload, plan, bindings, "row")
+        result, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("auto")
+        )
+        # Auto mode re-decides exactly when an observation violates.
+        assert report.redecisions == report.violations
+        for event in report.breakers:
+            if not event.violated:
+                assert event.estimate.contains(event.observed)
+        assert rows_digest(result.records) == rows_digest(plain.records)
+        if report.switches == 0:
+            assert result.io_snapshot == plain.io_snapshot
+
+    @settings(max_examples=8, deadline=None)
+    @given(workload=workloads(), binding_seed=st.integers(0, 1000))
+    def test_redecisions_never_pick_costlier_alternatives(
+        self, workload, binding_seed
+    ):
+        plan = optimize_dynamic(workload.catalog, workload.query).plan
+        bindings = random_bindings(workload, seed=binding_seed)
+        plain = _run_plain(workload, plan, bindings, "row")
+        result, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        for redecision in report.redecision_events:
+            if redecision.incumbent_cost is None:
+                continue
+            assert (
+                redecision.candidate_cost
+                <= redecision.incumbent_cost + 1e-9
+            )
+        assert rows_digest(result.records) == rows_digest(plain.records)
+
+    @settings(max_examples=6, deadline=None)
+    @given(workload=workloads())
+    def test_skewed_runs_still_return_true_rows(self, workload):
+        plan = optimize_dynamic(workload.catalog, workload.query).plan
+        bindings = skewed_bindings(workload, declared=0.02, actual=0.6)
+        plain = _run_plain(workload, plan, bindings, "row")
+        result, report = _run_midquery(
+            workload, plan, bindings, "row", ReoptPolicy("always")
+        )
+        assert rows_digest(result.records) == rows_digest(plain.records)
+        final = report.final_plan
+        assert final.choose_plan_count() == 0
