@@ -9,8 +9,8 @@ than the tolerance (default ±25%).
 Direction is inferred from the record's unit:
 
 * ``s`` — latency: lower is better, a regression is an increase;
-* ``records/s``, ``x``, ``fraction`` — throughput, speedup, hit rate:
-  higher is better, a regression is a decrease.
+* ``records/s``, ``requests/s``, ``x``, ``fraction`` — throughput,
+  speedup, hit rate: higher is better, a regression is a decrease.
 
 Only regressions fail the gate.  Improvements beyond tolerance are
 reported (they mean the committed baseline is stale and should be
@@ -50,7 +50,7 @@ HERE = pathlib.Path(__file__).parent
 LOWER_IS_BETTER = frozenset(("s",))
 
 #: Units where a larger value is an improvement.
-HIGHER_IS_BETTER = frozenset(("records/s", "x", "fraction"))
+HIGHER_IS_BETTER = frozenset(("records/s", "requests/s", "x", "fraction"))
 
 DEFAULT_TOLERANCE = 0.25
 

@@ -238,6 +238,7 @@ def _serve_batch(argv):
 
     from repro.common.errors import OptimizationError
     from repro.service import render_report, replay_spec
+    from repro.service.replay import write_qps_report
     from repro.workloads.service import ServiceWorkloadSpec
 
     parser = argparse.ArgumentParser(
@@ -290,6 +291,27 @@ def _serve_batch(argv):
         default=None,
         help="override the spec's executor (row, batch, or compiled)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="replay through the sharded gateway with this many "
+        "plan-cache partitions (1 = single-lock service)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="assign each invocation a Zipf-distributed tenant "
+        "identity from this many tenants (0 = unattributed)",
+    )
+    parser.add_argument(
+        "--qps-report",
+        metavar="PATH",
+        default=None,
+        help="write a JSON throughput/latency summary (qps, p50/p95/"
+        "p99 request latency, hit rate, per-shard counts) to PATH",
+    )
     args = parser.parse_args(argv)
 
     overrides = {
@@ -298,6 +320,8 @@ def _serve_batch(argv):
         "capacity": args.capacity,
         "seed": args.seed,
         "execution_mode": args.execution_mode,
+        "shards": args.shards,
+        "tenants": args.tenants,
     }
     overrides = {key: value for key, value in overrides.items()
                  if value is not None}
@@ -315,6 +339,9 @@ def _serve_batch(argv):
         return 2
     report = replay_spec(spec)
     print(render_report(report))
+    if args.qps_report is not None:
+        write_qps_report(report, args.qps_report)
+        print("qps report written to %s" % args.qps_report)
     return 0
 
 

@@ -122,6 +122,33 @@ class QueryTimeoutError(ExecutionError):
         self.trace = None
 
 
+class ServiceOverloadError(ExecutionError):
+    """A request was fast-rejected by serving-tier admission control.
+
+    Raised *synchronously* at submit time — before any optimizer or
+    executor work — when a service shard's pending queue is at its
+    bound or the requesting tenant is at its in-flight quota.  Typed
+    and cheap by design: under overload the gateway sheds load in
+    microseconds instead of letting queues grow without bound, and the
+    caller can distinguish "the system is full" (retry later,
+    backpressure upstream) from a request that actually failed.
+
+    ``reason`` is ``"shard_queue_full"`` or ``"tenant_quota"``;
+    ``shard`` is the target shard index; ``tenant`` the requesting
+    tenant (when any); ``pending`` and ``limit`` describe the queue or
+    quota that rejected the request.
+    """
+
+    def __init__(self, message, reason=None, shard=None, tenant=None,
+                 pending=None, limit=None):
+        super().__init__(message)
+        self.reason = reason
+        self.shard = shard
+        self.tenant = tenant
+        self.pending = pending
+        self.limit = limit
+
+
 class ServiceExecutionError(ExecutionError):
     """A service invocation failed after resilience was exhausted.
 

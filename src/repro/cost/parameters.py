@@ -157,6 +157,15 @@ class Bindings:
                 "cost-model parameter %r has no run-time binding" % name
             ) from None
 
+    def get_parameter(self, name, default=None):
+        """Value of a bound parameter, or ``default`` when unbound.
+
+        One dict probe instead of the ``has_parameter`` +
+        ``parameter`` pair — the serving hot path checks a handful of
+        parameters per invocation.
+        """
+        return self._parameters.get(name, default)
+
     def parameter_names(self):
         """Sorted names of bound parameters."""
         return sorted(self._parameters)

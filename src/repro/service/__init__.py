@@ -12,6 +12,10 @@ turns that amortization argument into a running subsystem:
   over the optimizer and executor: repeated queries skip optimization
   entirely and go straight to the start-up decision procedure under
   fresh bindings;
+* :mod:`.sharding` — :class:`ShardedQueryService`, a gateway over N
+  shards that partition the plan cache by signature hash, with bounded
+  admission queues, per-tenant quotas, and exactly aggregated
+  statistics (the heavy-traffic serving tier);
 * :mod:`.replay` — a workload replayer behind the
   ``python -m repro serve-batch`` CLI, reporting hit rate, start-up
   latency percentiles, and speedup versus optimize-per-query.
@@ -26,6 +30,12 @@ from repro.service.service import (
     ServiceResult,
     ServiceStatistics,
 )
+from repro.service.sharding import (
+    ServiceShard,
+    ShardedQueryService,
+    ShardedServiceStatistics,
+    shard_index_for,
+)
 
 __all__ = [
     "CacheStatistics",
@@ -37,7 +47,11 @@ __all__ = [
     "ReplayReport",
     "ServiceRequest",
     "ServiceResult",
+    "ServiceShard",
     "ServiceStatistics",
+    "ShardedQueryService",
+    "ShardedServiceStatistics",
     "render_report",
     "replay_spec",
+    "shard_index_for",
 ]

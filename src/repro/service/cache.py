@@ -50,7 +50,13 @@ class CacheStatistics:
         return self.hits / self.lookups
 
     def snapshot(self):
-        """An immutable copy of the counters as a dict."""
+        """A copy of the counters as a dict.
+
+        Reads the fields one by one, so a concurrent writer can be
+        observed mid-update; callers needing an internally consistent
+        view take :meth:`PlanCache.stats_snapshot`, which holds the
+        cache lock across the whole copy.
+        """
         return {
             "lookups": self.lookups,
             "hits": self.hits,
@@ -113,6 +119,14 @@ class PlanCacheEntry:
         #: degradation exhausts its restart budget (see
         #: :mod:`repro.resilience`); ``None`` until first needed.
         self.fallback_plan = None
+        #: Decision-outcome -> rebuilt static plan memo used by the
+        #: sharded serving fast path: one query shape has only a few
+        #: distinct choose-plan outcomes, so the chosen static plan is
+        #: rebuilt once per outcome instead of once per invocation.
+        #: Replaced (never mutated in place) by ``install``, so a
+        #: reader holding the old dict can finish against the plan the
+        #: dict was built for.
+        self.chosen_memo = {}
         self.lock = threading.RLock()
 
     def install(self, plan, parameter_space, decision=None, pipelines=None):
@@ -125,6 +139,7 @@ class PlanCacheEntry:
         self.plan = plan
         self.decision = decision
         self.pipelines = pipelines
+        self.chosen_memo = {}
         self.parameter_space = parameter_space
         self.covered_bounds = _covered_bounds(parameter_space)
 
@@ -161,6 +176,37 @@ class PlanCacheEntry:
                     self.observed[name] = (value, value)
                 else:
                     self.observed[name] = (min(seen[0], value), max(seen[1], value))
+
+    def check_and_observe(self, bindings):
+        """One-lock fusion of :meth:`stale_parameters` + :meth:`observe`.
+
+        The serving hot path needs both on every invocation; doing
+        them in one pass under one lock acquisition halves the
+        per-request entry-lock traffic.  Returns the stale
+        ``(name, value)`` list.  Observation is order-insensitive with
+        respect to re-optimization: the observed (lo, hi) fold depends
+        only on the parameter *names*, which widening preserves, so
+        observing before a re-optimization records exactly what
+        observing after it would.
+        """
+        stale = []
+        with self.lock:
+            observed = self.observed
+            for name, bounds in self.covered_bounds.items():
+                value = bindings.get_parameter(name)
+                if value is None:
+                    continue
+                if not bounds.contains(value):
+                    stale.append((name, value))
+                seen = observed.get(name)
+                if seen is None:
+                    observed[name] = (value, value)
+                elif value < seen[0] or value > seen[1]:
+                    observed[name] = (
+                        min(seen[0], value),
+                        max(seen[1], value),
+                    )
+        return stale
 
     def widened_query(self, stale):
         """The entry's query with bounds widened to cover stale values.
@@ -298,7 +344,16 @@ class PlanCache:
         used one.  The caller compiles missing plans under
         ``entry.lock`` and publishes them with ``entry.install``.
         """
-        signature = canonical_signature(query)
+        return self.entry_for_signature(canonical_signature(query), query)
+
+    def entry_for_signature(self, signature, query):
+        """:meth:`entry_for` with the canonical signature precomputed.
+
+        The sharded gateway canonicalizes each query once to route it,
+        then hands the signature down so the owning shard's lookup does
+        not recompute it; hit/miss/eviction accounting and LRU order
+        are identical to :meth:`entry_for`.
+        """
         with self._lock:
             self.stats.lookups += 1
             entry = self._entries.get(signature)
@@ -338,6 +393,20 @@ class PlanCache:
         """Count one staleness-driven in-place re-optimization."""
         with self._lock:
             self.stats.invalidations += 1
+
+    def stats_snapshot(self):
+        """An internally consistent counter snapshot (plus entry count).
+
+        Unlike ``self.stats.snapshot()`` — which reads field by field
+        while lookups may be updating them — this holds the cache lock
+        across the whole copy, so the returned counts describe one
+        instant: ``hits + misses == lookups`` always, and aggregating
+        the snapshots of several shard caches loses no counts.
+        """
+        with self._lock:
+            snapshot = self.stats.snapshot()
+            snapshot["entries"] = len(self._entries)
+            return snapshot
 
     def entries(self):
         """Entries in LRU order (least recently used first)."""

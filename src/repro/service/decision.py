@@ -386,6 +386,23 @@ class CompiledDecision:
         working state is local to this call — safe to invoke from any
         number of threads on the same instance.
         """
+        return self._choose(bindings, None)
+
+    def choose_memoized(self, bindings, memo):
+        """:meth:`choose` with the chosen-plan rebuild memoized.
+
+        ``memo`` maps a decision-outcome key — the tuple of chosen
+        alternatives, one per choose-plan in program order — to the
+        static plan previously rebuilt for that outcome.  A query
+        shape has only a handful of distinct outcomes, so a serving
+        tier replaying thousands of bindings rebuilds each chosen plan
+        once instead of every invocation.  Decisions themselves are
+        always re-evaluated; plans are immutable, so returning the
+        memoized object is exact.
+        """
+        return self._choose(bindings, memo)
+
+    def _choose(self, bindings, memo):
         started = time.perf_counter()
         if bindings.has_parameter(MEMORY_PARAMETER):
             memory = bindings.parameter(MEMORY_PARAMETER)
@@ -397,8 +414,16 @@ class CompiledDecision:
         decisions = []
         for step in self._program:
             step(costs, cards, bindings, memory, decisions)
-        chosen_map = {id(node): alternative for node, alternative in decisions}
-        chosen = self._rebuild_chosen(self.plan, chosen_map, {})
+        chosen = None
+        outcome = None
+        if memo is not None:
+            outcome = tuple(id(alternative) for _, alternative in decisions)
+            chosen = memo.get(outcome)
+        if chosen is None:
+            chosen_map = {id(node): alternative for node, alternative in decisions}
+            chosen = self._rebuild_chosen(self.plan, chosen_map, {})
+            if memo is not None:
+                memo[outcome] = chosen
         cpu_seconds = time.perf_counter() - started
         report = StartupReport(
             decisions=len(decisions),

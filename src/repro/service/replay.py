@@ -16,10 +16,14 @@ optimization cost alone — conservative, since the no-cache system
 would pay its own start-up on top.
 """
 
+import json
 import time
 
 from repro.catalog.synthetic import populate_database
+from repro.common.rng import make_rng
+from repro.common.stats import percentile
 from repro.service.service import QueryService, ServiceRequest
+from repro.service.sharding import ShardedQueryService
 from repro.storage.database import Database
 from repro.workloads.service import generate_service_requests
 
@@ -35,11 +39,16 @@ class ReplayReport:
         wall_seconds,
         baseline_means,
         per_query,
+        sharded_stats=None,
     ):
         self.spec = spec
         self.results = results
         #: :class:`~repro.service.service.ServiceStatistics` snapshot.
         self.stats = stats
+        #: :class:`~repro.service.sharding.ShardedServiceStatistics`
+        #: when the replay went through the sharded gateway, else None
+        #: (``stats`` is then its exact aggregate).
+        self.sharded_stats = sharded_stats
         self.wall_seconds = wall_seconds
         #: query name -> mean seconds of one from-scratch optimization.
         self.baseline_means = baseline_means
@@ -98,22 +107,44 @@ def replay_spec(
     if do_execute:
         populate_database(database, seed=spec.seed)
 
+    tenants = _assign_tenants(spec)
     service_requests = [
-        ServiceRequest(workload.query, bindings, tag=workload.query.name)
-        for workload, bindings in requests
+        ServiceRequest(
+            workload.query,
+            bindings,
+            tag=workload.query.name,
+            tenant=tenants[index] if tenants is not None else None,
+        )
+        for index, (workload, bindings) in enumerate(requests)
     ]
-    with QueryService(
-        database,
-        capacity=spec.capacity,
-        max_workers=spec.threads,
-        optimize=optimize,
-        execute=do_execute,
-        execution_mode=spec.execution_mode,
-    ) as service:
-        started = time.perf_counter()
-        results = service.run_batch(service_requests)
-        wall_seconds = time.perf_counter() - started
-        stats = service.stats()
+    sharded_stats = None
+    if spec.shards > 1:
+        with ShardedQueryService(
+            database,
+            shards=spec.shards,
+            capacity=spec.capacity,
+            optimize=optimize,
+            execute=do_execute,
+            execution_mode=spec.execution_mode,
+        ) as service:
+            started = time.perf_counter()
+            results = service.run_batch(service_requests)
+            wall_seconds = time.perf_counter() - started
+            sharded_stats = service.stats()
+            stats = sharded_stats.total
+    else:
+        with QueryService(
+            database,
+            capacity=spec.capacity,
+            max_workers=spec.threads,
+            optimize=optimize,
+            execute=do_execute,
+            execution_mode=spec.execution_mode,
+        ) as service:
+            started = time.perf_counter()
+            results = service.run_batch(service_requests)
+            wall_seconds = time.perf_counter() - started
+            stats = service.stats()
 
     baseline_means = {}
     for workload in workloads:
@@ -134,7 +165,78 @@ def replay_spec(
         counters["hits"] += 1 if result.cache_hit else 0
         counters["reoptimizations"] += 1 if result.reoptimized else 0
         counters["startup"] += result.startup_seconds
-    return ReplayReport(spec, results, stats, wall_seconds, baseline_means, per_query)
+    return ReplayReport(
+        spec,
+        results,
+        stats,
+        wall_seconds,
+        baseline_means,
+        per_query,
+        sharded_stats=sharded_stats,
+    )
+
+
+def _assign_tenants(spec):
+    """Deterministic Zipf-distributed tenant per invocation, or None.
+
+    Derived from the spec seed through its own stream, so enabling
+    tenancy never reshuffles the mix or binding draws.
+    """
+    if spec.tenants < 1:
+        return None
+    rng = make_rng(spec.seed, "service-tenants")
+    ranks = range(spec.tenants)
+    weights = [1.0 / (rank + 1) for rank in ranks]
+    return [
+        "tenant-%d" % rng.choices(ranks, weights=weights)[0]
+        for _ in range(spec.invocations)
+    ]
+
+
+def qps_summary(report):
+    """Throughput/latency summary of one replay, as a JSON-ready dict.
+
+    ``qps`` is invocations over replay wall time; latency percentiles
+    (via :func:`repro.common.stats.percentile`) are over per-request
+    service time — optimize + start-up + execution — in microseconds.
+    Written by ``serve-batch --qps-report``.
+    """
+    latencies = sorted(result.total_seconds for result in report.results)
+    summary = {
+        "invocations": len(report.results),
+        "wall_seconds": report.wall_seconds,
+        "qps": (
+            len(report.results) / report.wall_seconds
+            if report.wall_seconds > 0.0
+            else 0.0
+        ),
+        "hit_rate": report.hit_rate,
+        "shards": report.spec.shards,
+        "tenants": report.spec.tenants,
+        "threads": report.spec.threads,
+        "execution_mode": report.spec.execution_mode,
+        "latency_us": {
+            "p50": 1e6 * percentile(latencies, 0.50) if latencies else 0.0,
+            "p95": 1e6 * percentile(latencies, 0.95) if latencies else 0.0,
+            "p99": 1e6 * percentile(latencies, 0.99) if latencies else 0.0,
+            "mean": (
+                1e6 * sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+        },
+    }
+    if report.sharded_stats is not None:
+        summary["overload"] = dict(report.sharded_stats.overload)
+        summary["per_shard_requests"] = [
+            part.requests for part in report.sharded_stats.per_shard
+        ]
+    return summary
+
+
+def write_qps_report(report, path):
+    """Write :func:`qps_summary` as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(qps_summary(report), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def render_report(report):
@@ -201,4 +303,15 @@ def render_report(report):
         )
     else:
         lines.append("  wall time: %.3fs" % report.wall_seconds)
+    if report.sharded_stats is not None:
+        sharded = report.sharded_stats
+        lines.append(
+            "  sharded gateway: %d shards, per-shard requests %s, "
+            "%d overload rejections"
+            % (
+                len(sharded.per_shard),
+                [part.requests for part in sharded.per_shard],
+                sharded.rejections,
+            )
+        )
     return "\n".join(lines)

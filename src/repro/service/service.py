@@ -102,6 +102,7 @@ class ServiceRequest:
         "execution_mode",
         "deadline_seconds",
         "reopt_policy",
+        "tenant",
     )
 
     def __init__(
@@ -113,6 +114,7 @@ class ServiceRequest:
         execution_mode=None,
         deadline_seconds=None,
         reopt_policy=None,
+        tenant=None,
     ):
         self.query = query
         self.bindings = bindings
@@ -130,6 +132,11 @@ class ServiceRequest:
         #: string for :meth:`ReoptPolicy.parse`); None inherits the
         #: service default.
         self.reopt_policy = reopt_policy
+        #: Tenant identity for the sharded gateway's per-tenant quotas
+        #: (:mod:`repro.service.sharding`); ``None`` means unattributed
+        #: traffic, which is never quota limited.  The single-lock
+        #: service carries it through untouched.
+        self.tenant = tenant
 
     def __repr__(self):
         return "ServiceRequest(%s, tag=%r)" % (self.query.name, self.tag)
@@ -193,11 +200,21 @@ class ServiceResult:
 
 
 class ServiceStatistics:
-    """Point-in-time summary of service behaviour."""
+    """Point-in-time summary of service behaviour.
+
+    Built from one internally consistent snapshot per lock: the
+    service's request/latency/resilience state is copied under a
+    single ``_stats_lock`` acquisition and the cache counters under a
+    single cache-lock acquisition, so the fields of one snapshot
+    cohere (``hits + misses == lookups``, latency sample count equals
+    the request count) and shard snapshots aggregate exactly.
+    """
 
     __slots__ = (
         "requests",
         "cache",
+        "startup_samples",
+        "optimize_samples",
         "startup_p50",
         "startup_p95",
         "startup_mean",
@@ -221,6 +238,11 @@ class ServiceStatistics:
         #: Snapshot dict of the resilience outcome counters
         #: (see :data:`RESILIENCE_COUNTERS`).
         self.resilience = dict(resilience or {})
+        #: Raw per-invocation latency samples, retained so several
+        #: shards' statistics can be aggregated exactly (percentiles
+        #: over the union, not averages of averages).
+        self.startup_samples = tuple(startup_seconds)
+        self.optimize_samples = tuple(optimize_seconds)
         self.startup_p50 = percentile(startup_seconds, 0.50) if startup_seconds else 0.0
         self.startup_p95 = percentile(startup_seconds, 0.95) if startup_seconds else 0.0
         self.startup_mean = (
@@ -236,6 +258,39 @@ class ServiceStatistics:
             self.amortization = self.optimize_mean / self.startup_mean
         else:
             self.amortization = 0.0
+
+    @classmethod
+    def aggregate(cls, parts):
+        """Exact union of several snapshots (e.g. one per shard).
+
+        Counters are summed, cache counters merged key by key with the
+        hit rate recomputed from the merged totals, and percentiles
+        recomputed over the concatenated raw samples — nothing is
+        approximated, so tests can assert the aggregate equals the
+        per-shard sums exactly.
+        """
+        parts = list(parts)
+        cache = {}
+        for part in parts:
+            for key, value in part.cache.items():
+                if key != "hit_rate":
+                    cache[key] = cache.get(key, 0) + value
+        cache["hit_rate"] = (
+            cache["hits"] / cache["lookups"] if cache.get("lookups") else 0.0
+        )
+        resilience = {}
+        for part in parts:
+            for key, value in part.resilience.items():
+                resilience[key] = resilience.get(key, 0) + value
+        startup = [s for part in parts for s in part.startup_samples]
+        optimize = [s for part in parts for s in part.optimize_samples]
+        return cls(
+            sum(part.requests for part in parts),
+            cache,
+            startup,
+            optimize,
+            resilience,
+        )
 
     @property
     def hit_rate(self):
@@ -327,6 +382,12 @@ class QueryService:
         governing mid-query re-optimization at pipeline breakers.
         ``None`` (the default) disables it; individual requests
         override it per invocation.
+    db_lock:
+        The lock serializing data execution against ``database``.
+        ``None`` (the default) creates a private lock; a sharded
+        deployment passes one shared lock so every shard's executions
+        serialize against the same database exactly like a single
+        service would (see :mod:`repro.service.sharding`).
     """
 
     def __init__(
@@ -346,6 +407,7 @@ class QueryService:
         compile_pipelines=False,
         resilience=None,
         reopt_policy=None,
+        db_lock=None,
     ):
         if optimize is None:
             from repro.optimizer.optimizer import optimize_dynamic
@@ -374,7 +436,7 @@ class QueryService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
-        self._db_lock = threading.Lock()
+        self._db_lock = db_lock if db_lock is not None else threading.Lock()
         self._stats_lock = threading.Lock()
         self._startup_seconds = []
         self._optimize_seconds = []
@@ -500,45 +562,7 @@ class QueryService:
         entry, cache_hit = self.cache.entry_for(query)
         if info is not None:
             info["cache_hit"] = cache_hit
-        optimize_seconds = 0.0
-
-        if not cache_hit:
-            with entry.lock:
-                if entry.plan is None:
-                    optimize_seconds += self._compile(entry, entry.query)
-
-        reoptimized = False
-        breaker = self.resilience.breaker
-        stale = entry.stale_parameters(bindings)
-        if stale and breaker is not None and not breaker.allow(entry.digest):
-            # Breaker open: serve the cached plan (still correct, its
-            # choose-plans simply were not optimized for these bounds)
-            # instead of paying yet another re-optimization.
-            self._count("breaker_short_circuits")
-            if self.tracer is not None:
-                self.tracer.event(
-                    "breaker_short_circuit", level="warn", digest=entry.digest
-                )
-            stale = []
-        if stale:
-            with entry.lock:
-                stale = entry.stale_parameters(bindings)
-                if stale:
-                    widened = entry.widened_query(stale)
-                    optimize_seconds += self._compile(entry, widened)
-                    entry.reoptimizations += 1
-                    self.cache.record_reoptimization()
-                    reoptimized = True
-            if reoptimized and breaker is not None:
-                if breaker.record_reoptimization(entry.digest):
-                    self._count("breaker_trips")
-                    if self.tracer is not None:
-                        self.tracer.event(
-                            "breaker_trip", level="warn", digest=entry.digest
-                        )
-        elif breaker is not None:
-            breaker.record_success(entry.digest)
-        entry.observe(bindings)
+        optimize_seconds, reoptimized = self._refresh(entry, cache_hit, bindings)
 
         plan, parameter_space, decision = entry.snapshot()
         decision_started = time.perf_counter()
@@ -571,6 +595,72 @@ class QueryService:
             )
 
         total_seconds = time.perf_counter() - started
+        self._record(startup_seconds, optimize_seconds, reoptimized, execution)
+        return ServiceResult(
+            entry.digest,
+            cache_hit and not reoptimized,
+            reoptimized,
+            chosen,
+            report,
+            optimize_seconds,
+            startup_seconds,
+            execution,
+            total_seconds,
+            tag=tag,
+        )
+
+    def _refresh(self, entry, cache_hit, bindings):
+        """Make ``entry`` servable for ``bindings``; record the sight.
+
+        Compiles a missing plan (single-flight under the entry lock),
+        re-optimizes a stale one over widened bounds — subject to the
+        staleness circuit breaker — and folds the bindings into the
+        entry's observed ranges.  Returns ``(optimize_seconds,
+        reoptimized)``.  Shared by :meth:`_run` and the sharded fast
+        path (:mod:`repro.service.sharding`), so both make identical
+        freshness decisions.
+        """
+        optimize_seconds = 0.0
+        if not cache_hit:
+            with entry.lock:
+                if entry.plan is None:
+                    optimize_seconds += self._compile(entry, entry.query)
+
+        reoptimized = False
+        breaker = self.resilience.breaker
+        stale = entry.check_and_observe(bindings)
+        if stale and breaker is not None and not breaker.allow(entry.digest):
+            # Breaker open: serve the cached plan (still correct, its
+            # choose-plans simply were not optimized for these bounds)
+            # instead of paying yet another re-optimization.
+            self._count("breaker_short_circuits")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "breaker_short_circuit", level="warn", digest=entry.digest
+                )
+            stale = []
+        if stale:
+            with entry.lock:
+                stale = entry.stale_parameters(bindings)
+                if stale:
+                    widened = entry.widened_query(stale)
+                    optimize_seconds += self._compile(entry, widened)
+                    entry.reoptimizations += 1
+                    self.cache.record_reoptimization()
+                    reoptimized = True
+            if reoptimized and breaker is not None:
+                if breaker.record_reoptimization(entry.digest):
+                    self._count("breaker_trips")
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "breaker_trip", level="warn", digest=entry.digest
+                        )
+        elif breaker is not None:
+            breaker.record_success(entry.digest)
+        return optimize_seconds, reoptimized
+
+    def _record(self, startup_seconds, optimize_seconds, reoptimized, execution):
+        """Fold one served invocation into counters and metrics."""
         with self._stats_lock:
             self._requests += 1
             self._startup_seconds.append(startup_seconds)
@@ -584,18 +674,6 @@ class QueryService:
                 self._m_reoptimizations.inc()
             if execution is not None:
                 self._m_rows.inc(execution.row_count)
-        return ServiceResult(
-            entry.digest,
-            cache_hit and not reoptimized,
-            reoptimized,
-            chosen,
-            report,
-            optimize_seconds,
-            startup_seconds,
-            execution,
-            total_seconds,
-            tag=tag,
-        )
 
     def _compile(self, entry, query):
         """Optimize ``query`` into ``entry`` (entry lock held); seconds."""
@@ -932,7 +1010,7 @@ class QueryService:
             resilience = dict(self._resilience_counts)
         return ServiceStatistics(
             requests,
-            self.cache.stats.snapshot(),
+            self.cache.stats_snapshot(),
             startup,
             optimize,
             resilience,

@@ -1,0 +1,708 @@
+"""A sharded serving tier: partitioned plan cache behind one gateway.
+
+The single :class:`~repro.service.service.QueryService` of PR 2 puts
+every request through one plan cache guarded by one lock and one
+thread pool — fine for a benchmark harness, a bottleneck for the
+ROADMAP's "heavy traffic from millions of users" regime.  This module
+scales that front end out without changing what any single request
+observes:
+
+* :class:`ShardedQueryService` (the **gateway**) canonicalizes each
+  query once, hashes its signature digest, and routes the request to
+  one of N :class:`ServiceShard`\\ s.  Routing is pure function of the
+  canonical signature, so every invocation of one query shape lands on
+  the same shard and the optimize-once/execute-many amortization is
+  preserved per partition.
+* each **shard** owns a full :class:`~repro.service.service.QueryService`
+  — its own :class:`~repro.service.cache.PlanCache` partition with its
+  own lock, its own worker thread, and its own staleness/circuit-
+  breaker state — so requests for *different* signatures never
+  serialize on a shared cache lock.  Shards share one database lock,
+  so data execution is serialized exactly as in a single service.
+* **admission control**: each shard's queue is bounded; when it is
+  full — or the requesting tenant is at its in-flight quota — the
+  gateway fast-rejects at submit time with a typed
+  :class:`~repro.common.errors.ServiceOverloadError` instead of
+  letting queues grow without bound.  Rejections are counted per
+  reason and mirrored into metrics.
+* **exact statistics**: :meth:`ShardedQueryService.stats` aggregates
+  the per-shard :class:`~repro.service.service.ServiceStatistics`
+  snapshots with :meth:`ServiceStatistics.aggregate` — counters
+  summed, percentiles recomputed over the union of raw samples — so
+  the gateway view loses no counts, and per-shard pending/cache-size
+  gauges are exported when a metrics registry is attached.
+
+The serving fast path (:meth:`ServiceShard.serve`) is the perf story:
+compared with ``QueryService.run`` it skips the per-request canonical-
+signature recomputation (the gateway routes with it, then hands it
+down), reuses the entry's decision-outcome memo so the chosen static
+plan is *rebuilt* once per distinct outcome instead of once per
+invocation (:meth:`~repro.service.decision.CompiledDecision.choose_memoized`),
+and processes batched traffic in per-shard chunks so the pool pays one
+future per shard instead of one per request.  Freshness handling —
+plan compilation, staleness re-optimization, circuit breaking, bounds
+observation — is the *same code* (``QueryService._refresh``), so the
+fast path makes bit-identical decisions to the single-lock service;
+the differential test suite asserts exactly that.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.common.errors import (
+    ReproError,
+    ServiceExecutionError,
+    ServiceOverloadError,
+)
+from repro.executor.startup import activate_plan
+from repro.optimizer.query import canonical_signature, signature_digest
+from repro.resilience.deadline import Deadline
+from repro.service.service import (
+    QueryService,
+    ServiceRequest,
+    ServiceResult,
+    ServiceStatistics,
+    _coerce_reopt,
+)
+
+__all__ = [
+    "ServiceShard",
+    "ShardedQueryService",
+    "ShardedServiceStatistics",
+    "shard_index_for",
+]
+
+#: Overload rejection reasons (keys of the gateway's rejection counters).
+OVERLOAD_REASONS = ("shard_queue_full", "tenant_quota")
+
+#: Routing-memo size bound: the gateway caches (signature, shard) per
+#: query *object*; past this many distinct objects the memo is cleared
+#: (workloads reuse a handful of query objects, so this never triggers
+#: in practice — it only bounds pathological callers).
+_ROUTE_MEMO_LIMIT = 4096
+
+
+def shard_index_for(signature, shard_count):
+    """The shard owning ``signature``: digest hash modulo shard count.
+
+    Deterministic across processes (the digest is SHA-256-derived, not
+    ``hash()``), so replaying a workload always routes identically.
+    """
+    return int(signature_digest(signature), 16) % shard_count
+
+
+class ServiceShard:
+    """One partition: a private plan cache, worker, and breaker state.
+
+    Wraps a dedicated :class:`~repro.service.service.QueryService` (its
+    cache *is* the partition) plus a single-thread executor and a
+    bounded pending-queue counter.  The shard never sees a query whose
+    signature hashes elsewhere, so its cache lock is contended only by
+    requests for signatures it owns.
+    """
+
+    def __init__(self, index, service, max_pending):
+        self.index = index
+        self.service = service
+        self.max_pending = int(max_pending)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-shard-%d" % index
+        )
+
+    @property
+    def pending(self):
+        """Requests admitted but not yet completed (exact gauge)."""
+        with self._pending_lock:
+            return self._pending
+
+    def try_admit(self, amount=1):
+        """Reserve queue slots or fast-reject; never blocks.
+
+        Raises :class:`ServiceOverloadError` (``reason=
+        "shard_queue_full"``) when the reservation would push the
+        pending count past ``max_pending``.
+        """
+        with self._pending_lock:
+            if self._pending + amount > self.max_pending:
+                raise ServiceOverloadError(
+                    "shard %d queue full (%d pending, limit %d)"
+                    % (self.index, self._pending, self.max_pending),
+                    reason="shard_queue_full",
+                    shard=self.index,
+                    pending=self._pending,
+                    limit=self.max_pending,
+                )
+            self._pending += amount
+
+    def reserve(self, amount):
+        """Reserve queue slots *without* the admission bound.
+
+        The batched-replay path: the caller already holds the whole
+        batch, so the queue cannot grow unboundedly — the reservation
+        only keeps the pending gauge honest while the chunk runs.
+        """
+        with self._pending_lock:
+            self._pending += amount
+
+    def release(self, amount=1):
+        """Return queue slots reserved by :meth:`try_admit`/:meth:`reserve`."""
+        with self._pending_lock:
+            self._pending -= amount
+
+    def serve(self, signature, request):
+        """Serve one routed request on the calling thread (fast path).
+
+        Semantically :meth:`QueryService.run` with the signature
+        precomputed: identical cache accounting
+        (:meth:`~repro.service.cache.PlanCache.entry_for_signature`),
+        identical freshness/breaker handling (``_refresh``), identical
+        execution resilience, identical error wrapping — minus the
+        per-request signature canonicalization and, via the entry's
+        decision-outcome memo, minus the per-request chosen-plan
+        rebuild.
+        """
+        svc = self.service
+        svc._inflight_tokens.append(None)
+        info = {"cache_hit": None, "attempts": 0}
+        try:
+            return self._serve(signature, request, info)
+        except ReproError as error:
+            raise ServiceExecutionError(
+                "request tag=%r query=%r failed: %s"
+                % (request.tag, request.query.name, error),
+                tag=request.tag,
+                query_name=request.query.name,
+                cache_hit=info["cache_hit"],
+                attempts=info["attempts"],
+                cause=error,
+            ) from error
+        finally:
+            svc._inflight_tokens.pop()
+
+    def _serve(self, signature, request, info):
+        svc = self.service
+        started = time.perf_counter()
+        entry, cache_hit = svc.cache.entry_for_signature(signature, request.query)
+        info["cache_hit"] = cache_hit
+        optimize_seconds, reoptimized = svc._refresh(
+            entry, cache_hit, request.bindings
+        )
+
+        with entry.lock:
+            plan = entry.plan
+            parameter_space = entry.parameter_space
+            decision = entry.decision
+            memo = entry.chosen_memo
+        decision_started = time.perf_counter()
+        if decision is not None:
+            chosen, report = decision.choose_memoized(request.bindings, memo)
+        else:
+            chosen, report = activate_plan(
+                plan,
+                svc.catalog,
+                parameter_space,
+                request.bindings,
+                branch_and_bound=svc.branch_and_bound,
+                validate=False,
+            )
+        startup_seconds = time.perf_counter() - decision_started
+
+        execution = None
+        do_execute = (
+            svc.default_execute if request.execute is None else request.execute
+        )
+        if do_execute:
+            mode = (
+                svc.execution_mode
+                if request.execution_mode is None
+                else request.execution_mode
+            )
+            deadline_seconds = request.deadline_seconds
+            if deadline_seconds is None:
+                deadline_seconds = svc.resilience.deadline_seconds
+            reopt = (
+                svc.reopt_policy
+                if request.reopt_policy is None
+                else _coerce_reopt(request.reopt_policy)
+            )
+            execution, chosen, report = svc._execute_with_resilience(
+                entry,
+                chosen,
+                report,
+                decision,
+                plan,
+                parameter_space,
+                request.bindings,
+                mode,
+                Deadline.ensure(deadline_seconds),
+                reopt,
+                info,
+            )
+
+        total_seconds = time.perf_counter() - started
+        svc._record(startup_seconds, optimize_seconds, reoptimized, execution)
+        return ServiceResult(
+            entry.digest,
+            cache_hit and not reoptimized,
+            reoptimized,
+            chosen,
+            report,
+            optimize_seconds,
+            startup_seconds,
+            execution,
+            total_seconds,
+            tag=request.tag,
+        )
+
+    def submit(self, signature, request, on_done):
+        """Queue one admitted request on the shard worker."""
+
+        def task():
+            try:
+                return self.serve(signature, request)
+            finally:
+                on_done()
+
+        return self._executor.submit(task)
+
+    def serve_chunk(self, chunk):
+        """Serve ``[(index, signature, request), ...]`` on the worker.
+
+        The batched-replay path: one pool future covers the whole
+        chunk, and the tight loop keeps each request's cost at the
+        fast-path floor.  Returns ``[(index, outcome, is_error)]`` so
+        the gateway can reassemble results in request order and
+        re-raise the earliest failure exactly like
+        :meth:`QueryService.run_batch` does.
+        """
+        outcomes = []
+        serve = self.serve
+        for index, signature, request in chunk:
+            try:
+                outcomes.append((index, serve(signature, request), False))
+            except Exception as error:  # re-raised in request order
+                outcomes.append((index, error, True))
+        return outcomes
+
+    def shutdown(self, wait=True):
+        """Stop the shard worker and its wrapped service."""
+        self._executor.shutdown(wait=wait)
+        self.service.shutdown(wait=wait)
+
+    def __repr__(self):
+        return "ServiceShard(%d, pending=%d, %d cached plans)" % (
+            self.index,
+            self.pending,
+            len(self.service.cache),
+        )
+
+
+class ShardedServiceStatistics:
+    """Gateway statistics: exact aggregate plus the per-shard parts.
+
+    ``total`` is :meth:`ServiceStatistics.aggregate` over the shard
+    snapshots — counters summed, hit rate and percentiles recomputed
+    from merged raw state, nothing approximated — and ``per_shard``
+    keeps the individual snapshots for skew inspection.  ``overload``
+    counts gateway fast-rejections by reason; rejected requests never
+    reach a shard, so they appear *only* here (total requests served
+    plus rejections equals requests submitted).
+    """
+
+    __slots__ = ("total", "per_shard", "overload")
+
+    def __init__(self, per_shard, overload):
+        self.per_shard = tuple(per_shard)
+        self.total = ServiceStatistics.aggregate(self.per_shard)
+        self.overload = dict(overload)
+
+    @property
+    def requests(self):
+        return self.total.requests
+
+    @property
+    def hit_rate(self):
+        return self.total.hit_rate
+
+    @property
+    def rejections(self):
+        """Total overload fast-rejections across all reasons."""
+        return sum(self.overload.values())
+
+    def __repr__(self):
+        return (
+            "ShardedServiceStatistics(%d shards, requests=%d, "
+            "hit_rate=%.2f, rejections=%d)"
+            % (
+                len(self.per_shard),
+                self.total.requests,
+                self.total.hit_rate,
+                self.rejections,
+            )
+        )
+
+
+class ShardedQueryService:
+    """Gateway over N service shards partitioning the plan cache.
+
+    Parameters
+    ----------
+    database:
+        The shared :class:`~repro.storage.database.Database`.  All
+        shards execute against it under one shared lock, so I/O
+        accounting matches a single-lock service exactly.
+    shards:
+        Number of partitions.  Each shard is a full
+        :class:`~repro.service.service.QueryService` with its own
+        cache, lock, worker thread, and breaker state.
+    capacity:
+        Plan-cache capacity *per shard*, in entries.
+    max_pending:
+        Admission bound per shard: requests admitted (via
+        :meth:`submit`) beyond this many in flight on one shard are
+        fast-rejected with
+        :class:`~repro.common.errors.ServiceOverloadError`
+        (``reason="shard_queue_full"``).
+    tenant_quota:
+        Default per-tenant in-flight quota, or ``None`` for no tenant
+        limiting.  Requests carrying ``tenant=None`` are never quota
+        limited.
+    tenant_quotas:
+        Optional dict of per-tenant overrides of ``tenant_quota``.
+    resilience_factory:
+        Zero-argument callable producing one
+        :class:`~repro.resilience.policy.ResiliencePolicy` *per shard*
+        — policies hold mutable circuit-breaker state, so shards must
+        not share one instance.  ``None`` gives each shard the policy
+        defaults.
+    metrics:
+        Optional registry.  The gateway registers its own overload
+        counters and per-shard gauges (``service_shard<i>_pending``,
+        ``service_shard<i>_cache_entries``); shards are created
+        *without* a registry — their exact counters are aggregated by
+        :meth:`stats` instead, which avoids N-way metric-name
+        collisions in a registry that has no label dimension.
+
+    Remaining keyword arguments (``execute``, ``execution_mode``,
+    ``batch_size``, ``compile_pipelines``, ``compiled``,
+    ``branch_and_bound``, ``validate``, ``optimize``, ``tracer``,
+    ``reopt_policy``) are forwarded to every shard's ``QueryService``
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        database,
+        shards=8,
+        capacity=64,
+        max_pending=256,
+        tenant_quota=None,
+        tenant_quotas=None,
+        resilience_factory=None,
+        metrics=None,
+        **service_kwargs,
+    ):
+        if shards < 1:
+            raise ValueError("shard count must be at least 1")
+        self.database = database
+        self.metrics = metrics
+        self.tenant_quota = tenant_quota
+        self.tenant_quotas = dict(tenant_quotas or {})
+        #: One lock serializing all shards' data execution against the
+        #: shared database — identical serialization to one service.
+        self._db_lock = threading.Lock()
+        self.shards = []
+        for index in range(shards):
+            resilience = (
+                resilience_factory() if resilience_factory is not None else None
+            )
+            service = QueryService(
+                database,
+                capacity=capacity,
+                max_workers=1,
+                metrics=None,
+                resilience=resilience,
+                db_lock=self._db_lock,
+                **service_kwargs,
+            )
+            self.shards.append(ServiceShard(index, service, max_pending))
+        self._tenant_lock = threading.Lock()
+        self._tenant_inflight = {}
+        self._overload_lock = threading.Lock()
+        self._overload_counts = {reason: 0 for reason in OVERLOAD_REASONS}
+        #: id(query) -> (query, signature, shard index).  The strong
+        #: query reference keeps the id stable for the memo's lifetime.
+        self._route_memo = {}
+        if metrics is not None:
+            self._m_overload = {
+                reason: metrics.counter(
+                    "service_overload_%s_total" % reason,
+                    "Admission fast-rejections: %s" % reason.replace("_", " "),
+                )
+                for reason in OVERLOAD_REASONS
+            }
+            metrics.counter(
+                "service_overload_rejections_total",
+                "Admission fast-rejections, all reasons",
+                callback=self._rejection_count,
+            )
+            for shard in self.shards:
+                metrics.gauge(
+                    "service_shard%d_pending" % shard.index,
+                    "Requests in flight on shard %d" % shard.index,
+                    callback=lambda s=shard: s.pending,
+                )
+                metrics.gauge(
+                    "service_shard%d_cache_entries" % shard.index,
+                    "Plans cached on shard %d" % shard.index,
+                    callback=lambda s=shard: len(s.service.cache),
+                )
+        else:
+            self._m_overload = None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, query):
+        """The ``(signature, shard)`` owning ``query``.
+
+        Memoized by query object identity: a serving workload reuses a
+        handful of query objects across thousands of requests, so the
+        canonical signature is computed once per object, not once per
+        request.  The memo holds strong references (id stability) and
+        is cleared past :data:`_ROUTE_MEMO_LIMIT` objects.
+        """
+        memoized = self._route_memo.get(id(query))
+        if memoized is not None and memoized[0] is query:
+            return memoized[1], self.shards[memoized[2]]
+        signature = canonical_signature(query)
+        index = shard_index_for(signature, len(self.shards))
+        if len(self._route_memo) >= _ROUTE_MEMO_LIMIT:
+            self._route_memo.clear()
+        self._route_memo[id(query)] = (query, signature, index)
+        return signature, self.shards[index]
+
+    def shard_for(self, query):
+        """The :class:`ServiceShard` that owns ``query``."""
+        return self.route(query)[1]
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def _reject(self, error):
+        with self._overload_lock:
+            self._overload_counts[error.reason] += 1
+        if self._m_overload is not None:
+            self._m_overload[error.reason].inc()
+        raise error
+
+    def _rejection_count(self):
+        with self._overload_lock:
+            return sum(self._overload_counts.values())
+
+    def _quota_for(self, tenant):
+        return self.tenant_quotas.get(tenant, self.tenant_quota)
+
+    def _admit_tenant(self, tenant, shard_index):
+        """Reserve one tenant in-flight slot or raise (counted by caller)."""
+        quota = self._quota_for(tenant)
+        if tenant is None or quota is None:
+            return
+        with self._tenant_lock:
+            inflight = self._tenant_inflight.get(tenant, 0)
+            if inflight >= quota:
+                raise ServiceOverloadError(
+                    "tenant %r at quota (%d in flight, limit %d)"
+                    % (tenant, inflight, quota),
+                    reason="tenant_quota",
+                    shard=shard_index,
+                    tenant=tenant,
+                    pending=inflight,
+                    limit=quota,
+                )
+            self._tenant_inflight[tenant] = inflight + 1
+
+    def _release_tenant(self, tenant):
+        if tenant is None or self._quota_for(tenant) is None:
+            return
+        with self._tenant_lock:
+            remaining = self._tenant_inflight.get(tenant, 0) - 1
+            if remaining > 0:
+                self._tenant_inflight[tenant] = remaining
+            else:
+                self._tenant_inflight.pop(tenant, None)
+
+    def _admit(self, shard, tenant):
+        """Shard-queue then tenant-quota admission; all-or-nothing."""
+        try:
+            shard.try_admit()
+        except ServiceOverloadError as error:
+            self._reject(error)
+        try:
+            self._admit_tenant(tenant, shard.index)
+        except ServiceOverloadError as error:
+            shard.release()
+            self._reject(error)
+
+    def tenant_inflight(self, tenant):
+        """Current in-flight count for ``tenant`` (exact gauge)."""
+        with self._tenant_lock:
+            return self._tenant_inflight.get(tenant, 0)
+
+    def overload_counts(self):
+        """Snapshot dict of fast-rejections by reason."""
+        with self._overload_lock:
+            return dict(self._overload_counts)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query,
+        bindings,
+        execute=None,
+        tag=None,
+        execution_mode=None,
+        deadline_seconds=None,
+        reopt_policy=None,
+        tenant=None,
+    ):
+        """Route, admit, and queue one invocation; returns a Future.
+
+        Raises :class:`~repro.common.errors.ServiceOverloadError`
+        *synchronously* — before any optimizer or executor work — when
+        the owning shard's queue is at its bound or the tenant is at
+        its quota.  The backpressure contract: callers that see the
+        typed rejection slow down; callers holding a future know their
+        request was admitted and will complete (or fail typed).
+        """
+        request = ServiceRequest(
+            query,
+            bindings,
+            execute=execute,
+            tag=tag,
+            execution_mode=execution_mode,
+            deadline_seconds=deadline_seconds,
+            reopt_policy=reopt_policy,
+            tenant=tenant,
+        )
+        signature, shard = self.route(query)
+        self._admit(shard, tenant)
+
+        def on_done():
+            shard.release()
+            self._release_tenant(tenant)
+
+        return shard.submit(signature, request, on_done)
+
+    def run(
+        self,
+        query,
+        bindings,
+        execute=None,
+        tag=None,
+        execution_mode=None,
+        deadline_seconds=None,
+        reopt_policy=None,
+        tenant=None,
+    ):
+        """Serve one invocation synchronously (admission still applies)."""
+        request = ServiceRequest(
+            query,
+            bindings,
+            execute=execute,
+            tag=tag,
+            execution_mode=execution_mode,
+            deadline_seconds=deadline_seconds,
+            reopt_policy=reopt_policy,
+            tenant=tenant,
+        )
+        signature, shard = self.route(query)
+        self._admit(shard, tenant)
+        try:
+            return shard.serve(signature, request)
+        finally:
+            shard.release()
+            self._release_tenant(tenant)
+
+    def run_batch(self, requests):
+        """Serve many requests, results aligned with request order.
+
+        The closed-loop replay path: requests are partitioned by
+        owning shard and each shard worker runs its chunk in one tight
+        loop, so the pool overhead is one future per *shard* rather
+        than one per request.  Replay is bounded by construction (the
+        caller holds the whole batch), so per-request admission is
+        skipped; the pending gauge still reflects each chunk in
+        flight.  Failures re-raise in request order, matching
+        :meth:`QueryService.run_batch`.
+        """
+        requests = list(requests)
+        chunks = [[] for _ in self.shards]
+        for index, request in enumerate(requests):
+            signature, shard = self.route(request.query)
+            chunks[shard.index].append((index, signature, request))
+
+        futures = []
+        for shard, chunk in zip(self.shards, chunks):
+            if not chunk:
+                continue
+            shard.reserve(len(chunk))
+
+            def task(shard=shard, chunk=chunk):
+                try:
+                    return shard.serve_chunk(chunk)
+                finally:
+                    shard.release(len(chunk))
+
+            futures.append(shard._executor.submit(task))
+
+        outcomes = [None] * len(requests)
+        for future in futures:
+            for index, outcome, is_error in future.result():
+                outcomes[index] = (outcome, is_error)
+        results = []
+        for outcome, is_error in outcomes:
+            if is_error:
+                raise outcome
+            results.append(outcome)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """A :class:`ShardedServiceStatistics` snapshot (exact aggregate)."""
+        return ShardedServiceStatistics(
+            [shard.service.stats() for shard in self.shards],
+            self.overload_counts(),
+        )
+
+    def shutdown(self, wait=True):
+        """Stop every shard's worker and wrapped service."""
+        for shard in self.shards:
+            shard.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.shutdown()
+        return False
+
+    def __len__(self):
+        return len(self.shards)
+
+    def __repr__(self):
+        return "ShardedQueryService(%d shards, %d cached plans)" % (
+            len(self.shards),
+            sum(len(shard.service.cache) for shard in self.shards),
+        )

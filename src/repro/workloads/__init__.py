@@ -12,13 +12,29 @@ from repro.workloads.queries import (
     make_join_workload,
     paper_workload,
 )
+from repro.workloads.traffic import (
+    HeavyTrafficSpec,
+    TrafficRequest,
+    build_traffic_queries,
+    generate_traffic,
+    request_stream_json,
+    to_service_requests,
+    zipf_weights,
+)
 
 __all__ = [
+    "HeavyTrafficSpec",
     "PAPER_QUERY_SIZES",
+    "TrafficRequest",
     "Workload",
     "binding_series",
+    "build_traffic_queries",
+    "generate_traffic",
     "make_join_workload",
     "paper_workload",
     "random_bindings",
+    "request_stream_json",
     "skewed_bindings",
+    "to_service_requests",
+    "zipf_weights",
 ]

@@ -24,6 +24,8 @@ Spec JSON format::
       "capacity": 64,
       "execute": true,
       "execution_mode": "row",
+      "shards": 1,
+      "tenants": 0,
       "queries": [
         {"relations": 2, "topology": "chain", "weight": 3},
         {"relations": 4, "topology": "star", "weight": 1,
@@ -126,6 +128,8 @@ class ServiceWorkloadSpec:
         seed=0,
         execute=True,
         execution_mode="row",
+        shards=1,
+        tenants=0,
     ):
         self.queries = list(queries)
         if not self.queries:
@@ -141,12 +145,24 @@ class ServiceWorkloadSpec:
                 "got %r" % (execution_mode,)
             )
         self.execution_mode = execution_mode
+        #: ``1`` replays through the single-lock service; larger counts
+        #: go through the sharded gateway (:mod:`repro.service.sharding`)
+        #: with this many plan-cache partitions.
+        self.shards = int(shards)
+        #: ``0`` leaves requests unattributed; larger counts assign each
+        #: invocation a Zipf-distributed tenant identity from a derived
+        #: stream (deterministic per seed).
+        self.tenants = int(tenants)
         if self.invocations < 0:
             raise OptimizationError("invocations must be non-negative")
         if self.threads < 1:
             raise OptimizationError("a service needs at least one thread")
         if self.capacity < 1:
             raise OptimizationError("plan cache capacity must be at least 1")
+        if self.shards < 1:
+            raise OptimizationError("a service needs at least one shard")
+        if self.tenants < 0:
+            raise OptimizationError("tenant count must be non-negative")
 
     @classmethod
     def from_dict(cls, data):
@@ -159,6 +175,8 @@ class ServiceWorkloadSpec:
             seed=data.get("seed", 0),
             execute=data.get("execute", True),
             execution_mode=data.get("execution_mode", "row"),
+            shards=data.get("shards", 1),
+            tenants=data.get("tenants", 0),
         )
 
     @classmethod
@@ -192,6 +210,8 @@ class ServiceWorkloadSpec:
             "seed": self.seed,
             "execute": self.execute,
             "execution_mode": self.execution_mode,
+            "shards": self.shards,
+            "tenants": self.tenants,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

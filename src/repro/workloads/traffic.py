@@ -1,0 +1,363 @@
+"""Heavy-traffic workload generation for the sharded serving tier.
+
+The service workloads in :mod:`repro.workloads.service` model a small
+embedded-SQL mix replayed a few hundred times; this module models the
+regime the sharded gateway (:mod:`repro.service.sharding`) exists for
+— the operating conditions industrial plan-cache surveys identify as
+the ones that matter:
+
+* **Zipf-skewed query popularity**: a catalog of ``query_shapes``
+  distinct parameterized query signatures whose request frequencies
+  follow a Zipf law (weight of rank *r* proportional to ``1/r^s``,
+  paper-survey default ``s = 1.1``) — a few hot statements dominate
+  while a long tail keeps the plan caches churning;
+* **tenant mixes**: each request carries a tenant identity, itself
+  Zipf-distributed, so per-tenant quotas and fairness are exercisable;
+* **bursty open-loop arrivals**: exponential interarrival times whose
+  rate is multiplied during periodic burst windows — the arrival
+  process does not wait for responses, which is what makes admission
+  control and typed overload rejection necessary in the first place.
+
+Everything derives from the spec seed through
+:mod:`repro.common.rng`, with one independent stream per aspect
+(shape choice, tenant choice, arrivals, binding values): the full
+request stream is a pure function of the spec, and
+:func:`request_stream_json` renders it to canonical JSON so replays
+can assert byte-identical regeneration (the chaos-smoke determinism
+check does exactly that).
+
+The generated stream is *data* — plain records — until
+:func:`to_service_requests` materializes executable
+:class:`~repro.service.service.ServiceRequest` objects over a shared
+synthetic catalog.  Distinct signatures come from distinct expected
+selectivities: the canonical query signature covers each predicate's
+expected selectivity, so ``query_shapes`` shapes yield exactly that
+many plan-cache entries.
+"""
+
+import json
+
+from repro.catalog.synthetic import build_synthetic_catalog, default_relation_specs
+from repro.common.errors import OptimizationError
+from repro.common.rng import make_rng
+from repro.cost.parameters import Bindings
+from repro.optimizer.query import QuerySpec
+from repro.service.service import ServiceRequest
+from repro.workloads.queries import (
+    SELECTION_ATTRIBUTE,
+    make_join_predicates,
+    make_selection_predicate,
+)
+
+__all__ = [
+    "HeavyTrafficSpec",
+    "TrafficRequest",
+    "build_traffic_queries",
+    "generate_traffic",
+    "request_stream_json",
+    "to_service_requests",
+    "zipf_weights",
+]
+
+
+def zipf_weights(count, s):
+    """Zipf popularity weights: rank ``r`` (0-based) gets ``1/(r+1)^s``.
+
+    Unnormalized — :meth:`random.Random.choices` normalizes internally
+    and keeping raw weights makes skew assertions in tests exact.
+    """
+    return [1.0 / (rank + 1) ** s for rank in range(count)]
+
+
+class TrafficRequest:
+    """One generated request: pure data, JSON-serializable.
+
+    ``arrival_seconds`` is the open-loop arrival offset from stream
+    start; ``selectivity`` is the invocation's uncertain-predicate
+    binding value, materialized into executable
+    :class:`~repro.cost.parameters.Bindings` by
+    :func:`to_service_requests`.
+    """
+
+    __slots__ = ("index", "shape", "tenant", "arrival_seconds", "selectivity")
+
+    def __init__(self, index, shape, tenant, arrival_seconds, selectivity):
+        self.index = index
+        self.shape = shape
+        self.tenant = tenant
+        self.arrival_seconds = arrival_seconds
+        self.selectivity = selectivity
+
+    def to_dict(self):
+        """The record as a plain dict (canonical JSON building block)."""
+        return {
+            "index": self.index,
+            "shape": self.shape,
+            "tenant": self.tenant,
+            "arrival_seconds": self.arrival_seconds,
+            "selectivity": self.selectivity,
+        }
+
+    def __repr__(self):
+        return "TrafficRequest(#%d, shape=%d, tenant=%r, t=%.6fs)" % (
+            self.index,
+            self.shape,
+            self.tenant,
+            self.arrival_seconds,
+        )
+
+
+class HeavyTrafficSpec:
+    """Parameters of one heavy-traffic stream.
+
+    Parameters
+    ----------
+    requests:
+        Stream length.
+    query_shapes:
+        Number of distinct query signatures in the popularity ranking.
+    zipf_s:
+        Zipf skew of query popularity (``1.1`` matches the survey's
+        hot-statement regime; larger is more skewed).
+    tenants:
+        Number of distinct tenants; request tenancy is Zipf-distributed
+        with ``tenant_zipf_s``.
+    arrival_rate:
+        Mean open-loop arrival rate (requests/second) outside bursts.
+    burst_factor:
+        Arrival-rate multiplier inside a burst window.
+    burst_length:
+        Requests per burst window.
+    burst_period:
+        A burst window opens every ``burst_period`` windows (so
+        ``1/burst_period`` of the stream arrives at burst rate).
+    relations / topology:
+        Shape of the underlying join query every signature shares;
+        signatures differ in their expected selectivity.
+    seed:
+        Root seed; all four derived streams fan out from it.
+    """
+
+    FIELDS = (
+        "requests",
+        "query_shapes",
+        "zipf_s",
+        "tenants",
+        "tenant_zipf_s",
+        "arrival_rate",
+        "burst_factor",
+        "burst_length",
+        "burst_period",
+        "relations",
+        "topology",
+        "seed",
+    )
+
+    def __init__(
+        self,
+        requests=2000,
+        query_shapes=40,
+        zipf_s=1.1,
+        tenants=4,
+        tenant_zipf_s=1.0,
+        arrival_rate=5000.0,
+        burst_factor=4.0,
+        burst_length=64,
+        burst_period=4,
+        relations=2,
+        topology="chain",
+        seed=0,
+    ):
+        self.requests = int(requests)
+        self.query_shapes = int(query_shapes)
+        self.zipf_s = float(zipf_s)
+        self.tenants = int(tenants)
+        self.tenant_zipf_s = float(tenant_zipf_s)
+        self.arrival_rate = float(arrival_rate)
+        self.burst_factor = float(burst_factor)
+        self.burst_length = int(burst_length)
+        self.burst_period = int(burst_period)
+        self.relations = int(relations)
+        self.topology = topology
+        self.seed = int(seed)
+        if self.requests < 0:
+            raise OptimizationError("requests must be non-negative")
+        if self.query_shapes < 1:
+            raise OptimizationError("a traffic mix needs at least one shape")
+        if self.tenants < 1:
+            raise OptimizationError("a traffic mix needs at least one tenant")
+        if self.arrival_rate <= 0.0:
+            raise OptimizationError("arrival rate must be positive")
+        if self.burst_factor < 1.0:
+            raise OptimizationError("burst factor must be at least 1")
+        if self.burst_length < 1 or self.burst_period < 1:
+            raise OptimizationError("burst window sizes must be at least 1")
+        if self.relations < 1:
+            raise OptimizationError("queries need at least one relation")
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a spec from a parsed JSON object."""
+        unknown = set(data) - set(cls.FIELDS)
+        if unknown:
+            raise OptimizationError(
+                "unknown traffic spec keys: %s" % ", ".join(sorted(unknown))
+            )
+        return cls(**data)
+
+    def replace(self, **overrides):
+        """A copy with some fields overridden."""
+        fields = {name: getattr(self, name) for name in self.FIELDS}
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise OptimizationError(
+                "unknown traffic spec fields: %s" % ", ".join(sorted(unknown))
+            )
+        fields.update(overrides)
+        return HeavyTrafficSpec(**fields)
+
+    def to_dict(self):
+        """The spec as a plain dict (inverse of :meth:`from_dict`)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self):
+        return (
+            "HeavyTrafficSpec(%d requests, %d shapes zipf=%.2f, %d tenants)"
+            % (self.requests, self.query_shapes, self.zipf_s, self.tenants)
+        )
+
+
+def _burst_multiplier(spec, index):
+    """Arrival-rate multiplier for request ``index`` (deterministic)."""
+    window = index // spec.burst_length
+    if window % spec.burst_period == 0:
+        return spec.burst_factor
+    return 1.0
+
+
+def generate_traffic(spec):
+    """The spec's full request stream, generated up front.
+
+    Four independent derived streams — shape popularity, tenancy,
+    arrivals, binding values — so changing one aspect (say the tenant
+    count) cannot reshuffle another's draws.  Returns a list of
+    :class:`TrafficRequest` in arrival order.
+    """
+    shape_rng = make_rng(spec.seed, "traffic-shapes")
+    tenant_rng = make_rng(spec.seed, "traffic-tenants")
+    arrival_rng = make_rng(spec.seed, "traffic-arrivals")
+    binding_rng = make_rng(spec.seed, "traffic-bindings")
+    shape_weights = zipf_weights(spec.query_shapes, spec.zipf_s)
+    tenant_weights = zipf_weights(spec.tenants, spec.tenant_zipf_s)
+    shape_ranks = range(spec.query_shapes)
+    tenant_ranks = range(spec.tenants)
+    requests = []
+    clock = 0.0
+    for index in range(spec.requests):
+        (shape,) = shape_rng.choices(shape_ranks, weights=shape_weights)
+        (tenant_rank,) = tenant_rng.choices(tenant_ranks, weights=tenant_weights)
+        rate = spec.arrival_rate * _burst_multiplier(spec, index)
+        clock += arrival_rng.expovariate(rate)
+        selectivity = binding_rng.random()
+        requests.append(
+            TrafficRequest(
+                index,
+                shape,
+                "tenant-%d" % tenant_rank,
+                clock,
+                selectivity,
+            )
+        )
+    return requests
+
+
+def request_stream_json(requests):
+    """The stream as canonical JSON (sorted keys, fixed separators).
+
+    A pure function of the generating spec: equal seeds produce
+    byte-identical output, which the deterministic-replay check in CI
+    asserts with a literal byte comparison.
+    """
+    return json.dumps(
+        [request.to_dict() for request in requests],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def build_traffic_queries(spec):
+    """One catalog plus ``query_shapes`` distinct query signatures.
+
+    All shapes share the relation set and join topology; shape *i*
+    differs in its uncertain predicate's *expected* selectivity, which
+    the canonical signature covers — so the plan-cache working set has
+    exactly ``query_shapes`` entries and the gateway spreads them
+    across shards by signature hash.  Bounds stay at the full [0, 1]:
+    heavy-traffic serving measures steady-state throughput, not
+    staleness churn (drift workloads live in
+    :mod:`repro.workloads.service`).
+    """
+    relation_specs = default_relation_specs(spec.relations, seed=spec.seed)
+    catalog = build_synthetic_catalog(relation_specs, seed=spec.seed)
+    relation_names = [relation.name for relation in relation_specs]
+    joins = make_join_predicates(relation_names, spec.topology)
+    queries = []
+    for shape in range(spec.query_shapes):
+        if spec.query_shapes == 1:
+            expected = 0.05
+        else:
+            expected = 0.02 + 0.96 * shape / (spec.query_shapes - 1)
+        selections = {
+            name: make_selection_predicate(name, expected)
+            for name in relation_names
+        }
+        queries.append(
+            QuerySpec(
+                relations=relation_names,
+                selections=selections,
+                join_predicates=joins,
+                name="traffic-shape%03d" % shape,
+            )
+        )
+    return catalog, queries
+
+
+def _bindings_for(query, catalog, selectivity):
+    """Executable bindings realizing one request's selectivity draw."""
+    bindings = Bindings()
+    for relation_name in query.relations:
+        predicate = query.selection_for(relation_name)
+        if predicate is None or not predicate.is_uncertain:
+            continue
+        domain = catalog.domain_size(relation_name, SELECTION_ATTRIBUTE)
+        bindings.bind(predicate.selectivity_parameter, selectivity)
+        variable = predicate.comparison.operand
+        if hasattr(variable, "name"):
+            bindings.bind_variable(variable.name, selectivity * domain)
+    return bindings
+
+
+def to_service_requests(spec, traffic=None, catalog=None, queries=None):
+    """Materialize a stream into executable service requests.
+
+    Returns ``(catalog, queries, service_requests)``; the request list
+    aligns with the traffic stream index for index.  Each request
+    carries its tenant (for gateway quotas) and a
+    ``shape<i>#<index>`` tag.
+    """
+    if traffic is None:
+        traffic = generate_traffic(spec)
+    if catalog is None or queries is None:
+        catalog, queries = build_traffic_queries(spec)
+    service_requests = []
+    for request in traffic:
+        query = queries[request.shape]
+        service_requests.append(
+            ServiceRequest(
+                query,
+                _bindings_for(query, catalog, request.selectivity),
+                tag="shape%d#%d" % (request.shape, request.index),
+                tenant=request.tenant,
+            )
+        )
+    return catalog, queries, service_requests

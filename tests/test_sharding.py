@@ -1,0 +1,557 @@
+"""The sharded serving tier: routing, differential equivalence,
+admission control, and exact statistics.
+
+The contract under test is the module docstring of
+:mod:`repro.service.sharding`: sharding changes *where* a request is
+served, never *what* it observes.  The differential suite drives the
+same invocation sequence through a single-lock ``QueryService`` and a
+``ShardedQueryService`` over identically populated databases and
+requires identical rows, identical I/O accounting, and identical
+start-up decisions for all five paper queries in every execution mode.
+The eviction tests pit the per-shard LRU caches against a reference
+simulation and require exact hit/miss/evict counts, and the admission
+tests require overload to surface as typed
+:class:`~repro.common.errors.ServiceOverloadError` fast-rejections
+that are counted — never as hangs or silent drops.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.catalog.synthetic import populate_database
+from repro.common.errors import ServiceOverloadError
+from repro.observability import MetricsRegistry
+from repro.optimizer.query import canonical_signature
+from repro.service import (
+    QueryService,
+    ServiceRequest,
+    ShardedQueryService,
+    shard_index_for,
+)
+from repro.storage import Database
+from repro.workloads import paper_workload
+from repro.workloads.bindings import random_bindings
+from repro.workloads.traffic import (
+    HeavyTrafficSpec,
+    TrafficRequest,
+    build_traffic_queries,
+    to_service_requests,
+)
+
+THREADS = 8
+
+EXECUTION_MODES = ("row", "batch", "compiled")
+
+
+def small_traffic(requests=120, shapes=12, seed=0, tenants=2):
+    """A small materialized traffic stream for gateway tests."""
+    spec = HeavyTrafficSpec(
+        requests=requests,
+        query_shapes=shapes,
+        tenants=tenants,
+        seed=seed,
+    )
+    return to_service_requests(spec)
+
+
+def round_robin_requests(spec, rounds):
+    """``rounds`` passes over every shape in rank order, materialized.
+
+    Unlike the Zipf stream this touches *every* shape every round, so
+    LRU behaviour per shard is fully determined by the shard's
+    capacity and the set of shapes routed to it.
+    """
+    catalog, queries = build_traffic_queries(spec)
+    traffic = []
+    for round_index in range(rounds):
+        for shape in range(spec.query_shapes):
+            index = round_index * spec.query_shapes + shape
+            traffic.append(
+                TrafficRequest(
+                    index,
+                    shape,
+                    "tenant-0",
+                    float(index),
+                    0.1 + 0.8 * shape / spec.query_shapes,
+                )
+            )
+    return to_service_requests(spec, traffic=traffic, catalog=catalog,
+                               queries=queries)
+
+
+class TestRouting:
+    def test_shard_index_is_deterministic_and_in_range(self):
+        spec = HeavyTrafficSpec(requests=0, query_shapes=16)
+        _, queries = build_traffic_queries(spec)
+        for query in queries:
+            signature = canonical_signature(query)
+            index = shard_index_for(signature, 8)
+            assert 0 <= index < 8
+            # Pure function of the signature: stable across calls.
+            assert shard_index_for(signature, 8) == index
+        # Distinct signatures spread over more than one shard.
+        indexes = {
+            shard_index_for(canonical_signature(query), 8)
+            for query in queries
+        }
+        assert len(indexes) > 1
+
+    def test_route_is_memoized_per_query_object(self):
+        catalog, queries, _ = small_traffic(requests=0, shapes=4)
+        with ShardedQueryService(
+            Database(catalog), shards=4, execute=False
+        ) as gateway:
+            first = gateway.route(queries[0])
+            assert gateway.route(queries[0]) == first
+            assert id(queries[0]) in gateway._route_memo
+            assert gateway.shard_for(queries[0]) is first[1]
+
+    def test_every_signature_lands_on_exactly_one_shard(self):
+        catalog, queries, requests = small_traffic(requests=150, shapes=12)
+        with ShardedQueryService(
+            Database(catalog), shards=4, capacity=32, execute=False
+        ) as gateway:
+            gateway.run_batch(requests)
+            # Each shard's cache holds exactly the signatures that hash
+            # to it; the union is exactly the set of served shapes.
+            served_shapes = {request.query.name for request in requests}
+            expected = [0] * len(gateway.shards)
+            for query in queries:
+                if query.name in served_shapes:
+                    signature = canonical_signature(query)
+                    expected[shard_index_for(signature, len(gateway.shards))] += 1
+            per_shard = [len(shard.service.cache) for shard in gateway.shards]
+            assert per_shard == expected
+            assert sum(per_shard) == len(served_shapes)
+
+
+class TestDifferential:
+    """Sharded and single-lock serving must be observationally equal."""
+
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_paper_queries_identical_rows_io_and_decisions(self, mode):
+        for query_number in range(1, 6):
+            workload = paper_workload(query_number)
+            single_db = Database(workload.catalog)
+            sharded_db = Database(workload.catalog)
+            populate_database(single_db, seed=0)
+            populate_database(sharded_db, seed=0)
+            requests = [
+                ServiceRequest(
+                    workload.query,
+                    random_bindings(workload, seed=17, run_index=run),
+                )
+                for run in range(3)
+            ]
+            # One worker each side: with a wider pool, same-signature
+            # requests race the first compile and the hit/miss split
+            # becomes timing-dependent on both tiers.
+            with QueryService(
+                single_db, max_workers=1, execute=True, execution_mode=mode
+            ) as single, ShardedQueryService(
+                sharded_db, shards=3, execute=True, execution_mode=mode
+            ) as sharded:
+                single_results = single.run_batch(requests)
+                sharded_results = sharded.run_batch(requests)
+
+            for ours, theirs in zip(single_results, sharded_results):
+                label = "query %d mode %s" % (query_number, mode)
+                assert ours.digest == theirs.digest, label
+                assert ours.cache_hit == theirs.cache_hit, label
+                assert ours.reoptimized == theirs.reoptimized, label
+                # Identical start-up decisions, not just identical
+                # row counts: the memoized fast path must choose the
+                # very same static plan the single service chooses.
+                assert repr(ours.chosen) == repr(theirs.chosen), label
+                assert (
+                    ours.startup_report.decisions
+                    == theirs.startup_report.decisions
+                ), label
+                # Identical rows in identical order, identical I/O.
+                assert [repr(record) for record in ours.execution.records] == [
+                    repr(record) for record in theirs.execution.records
+                ], label
+                assert (
+                    ours.execution.io_snapshot == theirs.execution.io_snapshot
+                ), label
+
+    def test_traffic_stream_identical_results_startup_only(self):
+        catalog, _, requests = small_traffic(requests=200, shapes=16)
+        with QueryService(
+            Database(catalog), capacity=32, max_workers=1, execute=False
+        ) as single, ShardedQueryService(
+            Database(catalog), shards=4, capacity=32, execute=False
+        ) as sharded:
+            single_results = single.run_batch(requests)
+            sharded_results = sharded.run_batch(requests)
+            single_stats = single.stats()
+            sharded_stats = sharded.stats()
+        for ours, theirs in zip(single_results, sharded_results):
+            assert ours.digest == theirs.digest
+            assert ours.cache_hit == theirs.cache_hit
+            assert repr(ours.chosen) == repr(theirs.chosen)
+        # Cache accounting is partition-invariant: the same lookups,
+        # hits, and misses, just split across shards.
+        for key in ("lookups", "hits", "misses"):
+            assert single_stats.cache[key] == sharded_stats.total.cache[key]
+
+
+class TestAdmissionControl:
+    def test_shard_queue_full_fast_rejects_typed(self):
+        catalog, queries, _ = small_traffic(requests=0, shapes=2)
+        metrics = MetricsRegistry()
+        with ShardedQueryService(
+            Database(catalog),
+            shards=2,
+            max_pending=1,
+            execute=False,
+            metrics=metrics,
+        ) as gateway:
+            query = queries[0]
+            shard = gateway.shard_for(query)
+            shard.try_admit()  # occupy the single queue slot
+            _, _, requests = small_traffic(requests=1, shapes=2)
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                gateway.run(query, requests[0].bindings)
+            error = excinfo.value
+            assert error.reason == "shard_queue_full"
+            assert error.shard == shard.index
+            assert error.pending == 1
+            assert error.limit == 1
+            assert gateway.overload_counts() == {
+                "shard_queue_full": 1,
+                "tenant_quota": 0,
+            }
+            assert (
+                metrics.get("service_overload_shard_queue_full_total").value
+                == 1
+            )
+            assert (
+                metrics.get("service_overload_rejections_total").value == 1
+            )
+            # Releasing the slot un-wedges the shard: same request
+            # is now served, and no requests were silently dropped.
+            shard.release()
+            result = gateway.run(query, requests[0].bindings)
+            assert result.digest
+            stats = gateway.stats()
+            assert stats.requests == 1
+            assert stats.rejections == 1
+
+    def test_tenant_quota_rejects_and_rolls_back_shard_slot(self):
+        catalog, queries, _ = small_traffic(requests=1, shapes=1)
+        _, _, requests = small_traffic(requests=1, shapes=1)
+        with ShardedQueryService(
+            Database(catalog),
+            shards=2,
+            tenant_quota=4,
+            tenant_quotas={"blocked": 0},
+            execute=False,
+        ) as gateway:
+            query = queries[0]
+            shard = gateway.shard_for(query)
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                gateway.run(query, requests[0].bindings, tenant="blocked")
+            error = excinfo.value
+            assert error.reason == "tenant_quota"
+            assert error.tenant == "blocked"
+            assert error.limit == 0
+            # All-or-nothing admission: the shard slot reserved before
+            # the quota check was returned.
+            assert shard.pending == 0
+            assert gateway.overload_counts()["tenant_quota"] == 1
+            # Unattributed requests are never quota limited, and other
+            # tenants run under the default quota.
+            gateway.run(query, requests[0].bindings, tenant=None)
+            gateway.run(query, requests[0].bindings, tenant="fine")
+            assert gateway.tenant_inflight("fine") == 0  # released
+            assert gateway.stats().requests == 2
+
+    def test_overload_conservation_under_flood(self):
+        """served + rejected == submitted, with a deliberately slow
+        optimizer keeping the single shard busy during the flood."""
+        from repro.optimizer.optimizer import optimize_dynamic
+
+        def slow_optimize(catalog, query, **kwargs):
+            time.sleep(0.05)
+            return optimize_dynamic(catalog, query, **kwargs)
+
+        catalog, queries, requests = small_traffic(requests=40, shapes=1)
+        attempts = len(requests)
+        with ShardedQueryService(
+            Database(catalog),
+            shards=1,
+            max_pending=4,
+            execute=False,
+            optimize=slow_optimize,
+        ) as gateway:
+            futures = []
+            rejected = 0
+            for request in requests:
+                try:
+                    futures.append(
+                        gateway.submit(request.query, request.bindings)
+                    )
+                except ServiceOverloadError as error:
+                    assert error.reason == "shard_queue_full"
+                    rejected += 1
+            results = [future.result() for future in futures]
+            stats = gateway.stats()
+            assert gateway.shards[0].pending == 0
+        # The flood outran a worker that was busy optimizing: some
+        # requests were admitted, some shed, none lost.
+        assert rejected >= 1
+        assert len(results) >= 1
+        assert len(results) + rejected == attempts
+        assert stats.total.requests == len(results)
+        assert stats.rejections == rejected
+        assert stats.overload["shard_queue_full"] == rejected
+
+
+class TestExactStatistics:
+    def test_aggregate_equals_per_shard_sums(self):
+        metrics = MetricsRegistry()
+        catalog, _, requests = small_traffic(requests=160, shapes=12)
+        with ShardedQueryService(
+            Database(catalog),
+            shards=4,
+            capacity=32,
+            execute=False,
+            metrics=metrics,
+        ) as gateway:
+            gateway.run_batch(requests)
+            stats = gateway.stats()
+            cache_sizes = [len(s.service.cache) for s in gateway.shards]
+        assert stats.total.requests == len(requests)
+        assert stats.total.requests == sum(
+            part.requests for part in stats.per_shard
+        )
+        for key in ("lookups", "hits", "misses", "evictions"):
+            assert stats.total.cache[key] == sum(
+                part.cache[key] for part in stats.per_shard
+            )
+        # Internally consistent snapshots: per shard and in aggregate,
+        # hits + misses == lookups and one latency sample per request.
+        for part in list(stats.per_shard) + [stats.total]:
+            assert part.cache["hits"] + part.cache["misses"] == (
+                part.cache["lookups"]
+            )
+            assert len(part.startup_samples) == part.requests
+        assert stats.rejections == 0
+        # Per-shard gauges are registered and quiesce to the truth.
+        for shard in range(4):
+            assert metrics.get("service_shard%d_pending" % shard).value == 0
+            assert (
+                metrics.get("service_shard%d_cache_entries" % shard).value
+                == cache_sizes[shard]
+            )
+
+    def test_percentiles_recomputed_over_union_of_samples(self):
+        from repro.common.stats import percentile
+
+        catalog, _, requests = small_traffic(requests=80, shapes=8)
+        with ShardedQueryService(
+            Database(catalog), shards=4, execute=False
+        ) as gateway:
+            gateway.run_batch(requests)
+            stats = gateway.stats()
+        merged = sorted(
+            sample
+            for part in stats.per_shard
+            for sample in part.startup_samples
+        )
+        assert len(merged) == len(requests)
+        assert stats.total.startup_p50 == percentile(merged, 0.50)
+        assert stats.total.startup_p95 == percentile(merged, 0.95)
+
+
+class TestEvictionAccounting:
+    def test_lru_eviction_matches_reference_simulation(self):
+        """Exact per-shard hit/miss/evict counts vs a reference LRU.
+
+        ``run_batch`` serves each shard's chunk serially in request
+        order, so per-shard cache behaviour is fully determined — a
+        ten-line LRU simulation predicts every counter exactly.
+        """
+        capacity = 3
+        spec = HeavyTrafficSpec(requests=0, query_shapes=24, seed=5)
+        catalog, queries, requests = round_robin_requests(spec, rounds=3)
+        shard_count = 4
+        with ShardedQueryService(
+            Database(catalog),
+            shards=shard_count,
+            capacity=capacity,
+            execute=False,
+        ) as gateway:
+            gateway.run_batch(requests)
+            snapshots = [
+                shard.service.cache.stats_snapshot()
+                for shard in gateway.shards
+            ]
+            stats = gateway.stats()
+
+        # Reference simulation over each shard's serial sub-sequence.
+        expected = [
+            {"lookups": 0, "hits": 0, "misses": 0, "evictions": 0}
+            for _ in range(shard_count)
+        ]
+        lru = [[] for _ in range(shard_count)]  # most recent last
+        for request in requests:
+            signature = canonical_signature(request.query)
+            index = shard_index_for(signature, shard_count)
+            counters, cached = expected[index], lru[index]
+            counters["lookups"] += 1
+            if signature in cached:
+                counters["hits"] += 1
+                cached.remove(signature)
+                cached.append(signature)
+            else:
+                counters["misses"] += 1
+                cached.append(signature)
+                if len(cached) > capacity:
+                    cached.pop(0)
+                    counters["evictions"] += 1
+
+        for index, snapshot in enumerate(snapshots):
+            for key in ("lookups", "hits", "misses", "evictions"):
+                assert snapshot[key] == expected[index][key], (
+                    "shard %d %s" % (index, key)
+                )
+            assert snapshot["entries"] == len(lru[index])
+            assert snapshot["entries"] <= capacity
+        # 24 shapes over 4 shards: some shard holds > capacity shapes
+        # (pigeonhole), so the round-robin stream must have evicted.
+        assert stats.total.cache["evictions"] >= 1
+        assert stats.total.cache["lookups"] == len(requests)
+
+    @pytest.mark.slow
+    def test_concurrent_submit_eviction_conservation(self):
+        """8 submitter threads, eviction churn, zero lost counts.
+
+        Shard workers are single threads, so every miss inserts an
+        entry and ``evictions == misses - live entries`` holds exactly
+        per shard no matter how the submitting threads interleave.
+        """
+        capacity = 2
+        shard_count = 4
+        catalog, _, requests = small_traffic(
+            requests=THREADS * 40, shapes=16, seed=9
+        )
+        barrier = threading.Barrier(THREADS)
+        errors = []
+        futures_per_thread = [[] for _ in range(THREADS)]
+
+        with ShardedQueryService(
+            Database(catalog),
+            shards=shard_count,
+            capacity=capacity,
+            max_pending=10_000,
+            execute=False,
+        ) as gateway:
+
+            def worker(thread_index):
+                barrier.wait()
+                try:
+                    for request in requests[thread_index::THREADS]:
+                        futures_per_thread[thread_index].append(
+                            gateway.submit(request.query, request.bindings)
+                        )
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            # While the hammer runs, snapshots must stay internally
+            # consistent — the one-lock-acquisition contract.
+            for _ in range(20):
+                snapshot = gateway.stats()
+                for part in list(snapshot.per_shard) + [snapshot.total]:
+                    assert part.cache["hits"] + part.cache["misses"] == (
+                        part.cache["lookups"]
+                    )
+                    assert len(part.startup_samples) == part.requests
+            for thread in threads:
+                thread.join()
+            results = [
+                future.result()
+                for futures in futures_per_thread
+                for future in futures
+            ]
+            snapshots = [
+                shard.service.cache.stats_snapshot()
+                for shard in gateway.shards
+            ]
+            stats = gateway.stats()
+
+        assert errors == []
+        assert len(results) == len(requests)
+        assert stats.total.requests == len(requests)
+        assert stats.rejections == 0
+        total_lookups = 0
+        for snapshot in snapshots:
+            assert snapshot["hits"] + snapshot["misses"] == snapshot["lookups"]
+            assert snapshot["entries"] <= capacity
+            assert snapshot["evictions"] == (
+                snapshot["misses"] - snapshot["entries"]
+            )
+            total_lookups += snapshot["lookups"]
+        assert total_lookups == len(requests)
+        assert stats.total.cache["evictions"] >= 1
+
+
+class TestServeBatchCliSharded:
+    def test_shards_tenants_and_qps_report(self, tmp_path, capsys):
+        report_path = tmp_path / "qps.json"
+        code = main(
+            [
+                "serve-batch",
+                "--invocations", "24",
+                "--no-execute",
+                "--shards", "3",
+                "--tenants", "2",
+                "--qps-report", str(report_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sharded gateway: 3 shards" in output
+        summary = json.loads(report_path.read_text())
+        assert summary["invocations"] == 24
+        assert summary["shards"] == 3
+        assert summary["tenants"] == 2
+        assert sum(summary["per_shard_requests"]) == 24
+        assert summary["overload"] == {
+            "shard_queue_full": 0,
+            "tenant_quota": 0,
+        }
+        assert set(summary["latency_us"]) == {"p50", "p95", "p99", "mean"}
+        assert summary["latency_us"]["p50"] >= 0.0
+
+    def test_spec_file_carries_shards_and_tenants(self, tmp_path, capsys):
+        spec_path = tmp_path / "mix.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "invocations": 12,
+                    "threads": 4,
+                    "execute": False,
+                    "shards": 2,
+                    "tenants": 3,
+                    "queries": [
+                        {"relations": 1, "weight": 2},
+                        {"relations": 2, "weight": 1},
+                    ],
+                }
+            )
+        )
+        assert main(["serve-batch", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "sharded gateway: 2 shards" in output
