@@ -54,11 +54,55 @@ HIGHER_IS_BETTER = frozenset(("records/s", "requests/s", "x", "fraction"))
 
 DEFAULT_TOLERANCE = 0.25
 
+#: Keys every record must carry for the comparison to be meaningful.
+REQUIRED_RECORD_KEYS = ("name", "metric", "value", "unit")
+
+
+class MalformedRecordError(ValueError):
+    """A results/baseline file the gate cannot compare.
+
+    Raised with a message naming the file, the record, and the missing
+    or mistyped key — a hand-edited baseline must fail the gate with a
+    diagnosis, never with a bare ``KeyError`` traceback.
+    """
+
 
 def load_records(path):
     """``{(name, metric): record}`` from one results/baseline file."""
-    records = json.loads(path.read_text(encoding="utf-8"))
-    return {(r["name"], r["metric"]): r for r in records}
+    try:
+        records = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise MalformedRecordError(
+            "%s is not valid JSON: %s" % (path.name, error)
+        ) from error
+    if not isinstance(records, list):
+        raise MalformedRecordError(
+            "%s: expected a JSON list of benchmark records, got %s"
+            % (path.name, type(records).__name__)
+        )
+    loaded = {}
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise MalformedRecordError(
+                "%s: record %d is %s, not an object"
+                % (path.name, index, type(record).__name__)
+            )
+        missing = [key for key in REQUIRED_RECORD_KEYS if key not in record]
+        if missing:
+            raise MalformedRecordError(
+                "%s: record %d (%r) is missing key(s) %s — every "
+                "benchmark record needs name, metric, value, and unit"
+                % (path.name, index, record.get("name", record),
+                   ", ".join(missing))
+            )
+        value = record["value"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MalformedRecordError(
+                "%s: record %d (%s/%s) has non-numeric value %r"
+                % (path.name, index, record["name"], record["metric"], value)
+            )
+        loaded[(record["name"], record["metric"])] = record
+    return loaded
 
 
 def relative_change(current, baseline):
@@ -106,8 +150,12 @@ def compare(results_dir, baselines_dir, tolerance):
                 "bench stop running?" % baseline_path.name
             )
             continue
-        baseline = load_records(baseline_path)
-        results = load_records(results_path)
+        try:
+            baseline = load_records(baseline_path)
+            results = load_records(results_path)
+        except MalformedRecordError as error:
+            failures.append(str(error))
+            continue
         for key in sorted(set(baseline) | set(results)):
             name, metric = key
             if key not in results:

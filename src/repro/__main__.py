@@ -236,7 +236,7 @@ def _run(argv):
 def _serve_batch(argv):
     import argparse
 
-    from repro.common.errors import OptimizationError
+    from repro.common.errors import OptimizationError, SnapshotError
     from repro.service import render_report, replay_spec
     from repro.service.replay import write_qps_report
     from repro.workloads.service import ServiceWorkloadSpec
@@ -312,6 +312,14 @@ def _serve_batch(argv):
         help="write a JSON throughput/latency summary (qps, p50/p95/"
         "p99 request latency, hit rate, per-shard counts) to PATH",
     )
+    parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        default=None,
+        help="durable plan-cache snapshot file: warm-start from it "
+        "when it exists and rewrite it on shutdown, so repeated "
+        "replays skip re-optimizing the hot set",
+    )
     args = parser.parse_args(argv)
 
     overrides = {
@@ -337,8 +345,29 @@ def _serve_batch(argv):
     except (OSError, ValueError, OptimizationError) as error:
         print("serve-batch: invalid workload spec: %s" % error)
         return 2
-    report = replay_spec(spec)
+    try:
+        report = replay_spec(spec, snapshot=args.snapshot)
+    except SnapshotError as error:
+        print("serve-batch: snapshot %s: %s" % (args.snapshot, error))
+        return 2
     print(render_report(report))
+    if args.snapshot is not None:
+        restored = report.restore_stats
+        if restored is not None:
+            print(
+                "snapshot: restored %d cached plans from %s "
+                "(%d skipped, %d decision fallbacks, %d errors)"
+                % (
+                    restored.restored,
+                    args.snapshot,
+                    restored.skipped,
+                    restored.decision_fallbacks,
+                    len(restored.errors),
+                )
+            )
+        else:
+            print("snapshot: cold start (no snapshot at %s yet)" % args.snapshot)
+        print("snapshot written to %s" % args.snapshot)
     if args.qps_report is not None:
         write_qps_report(report, args.qps_report)
         print("qps report written to %s" % args.qps_report)
@@ -592,6 +621,31 @@ def _accuracy(argv):
     return 0
 
 
+def _chaos_service(scenario, args):
+    from repro.common.errors import ExecutionError
+    from repro.resilience.chaos import run_service_chaos
+
+    try:
+        report = run_service_chaos(
+            scenario,
+            seed=args.seed,
+            shards=args.shards,
+            requests=args.requests,
+            inject_at=args.inject_at,
+            heal_at=args.heal_at,
+            execution_mode=args.execution_mode,
+        )
+    except (ExecutionError, ValueError) as error:
+        print("chaos: %s" % error)
+        return 2
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.passed else 1
+
+
 def _chaos(argv):
     import argparse
 
@@ -657,7 +711,66 @@ def _chaos(argv):
         help="replace random bindings with lying selectivities "
         "(e.g. 0.02:0.6) so re-decisions actually switch plans",
     )
+    scenario_group = parser.add_mutually_exclusive_group()
+    scenario_group.add_argument(
+        "--kill-shard",
+        action="store_true",
+        help="service-tier scenario: kill a shard worker mid-replay "
+        "and assert failover + supervised restart preserve results",
+    )
+    scenario_group.add_argument(
+        "--hang-shard",
+        action="store_true",
+        help="service-tier scenario: wedge a shard worker mid-request "
+        "and assert the hung request completes via failover after the "
+        "supervisor escalates suspect -> down -> restart",
+    )
+    scenario_group.add_argument(
+        "--slow-shard",
+        action="store_true",
+        help="service-tier scenario: a shard reports stalled serves; "
+        "the supervisor marks it suspect and recovers it without a "
+        "restart",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="gateway shard count for the service-tier scenarios "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=36,
+        help="traffic length for the service-tier scenarios "
+        "(default 36)",
+    )
+    parser.add_argument(
+        "--inject-at",
+        type=int,
+        default=10,
+        help="request index at which the shard fault fires "
+        "(default 10)",
+    )
+    parser.add_argument(
+        "--heal-at",
+        type=int,
+        default=None,
+        help="request index at which the supervisor sweeps "
+        "(default inject-at + 6)",
+    )
     args = parser.parse_args(argv)
+
+    scenario = None
+    if args.kill_shard:
+        scenario = "kill-shard"
+    elif args.hang_shard:
+        scenario = "hang-shard"
+    elif args.slow_shard:
+        scenario = "slow-shard"
+    if scenario is not None:
+        return _chaos_service(scenario, args)
 
     try:
         numbers = tuple(

@@ -122,7 +122,26 @@ class QueryTimeoutError(ExecutionError):
         self.trace = None
 
 
-class ServiceOverloadError(ExecutionError):
+class ServiceError(ExecutionError):
+    """Base of the serving-tier taxonomy: typed, attributable faults.
+
+    Every serving-tier error carries the same three attribution
+    fields, so callers (and the chaos harness) can count and route
+    outcomes without isinstance ladders: ``shard`` is the index of the
+    service shard involved (``None`` outside a sharded deployment),
+    ``signature`` the canonical query signature of the affected
+    request (``None`` when the fault is not request-scoped), and
+    ``reason`` a short machine-readable cause tag.
+    """
+
+    def __init__(self, message, shard=None, signature=None, reason=None):
+        super().__init__(message)
+        self.shard = shard
+        self.signature = signature
+        self.reason = reason
+
+
+class ServiceOverloadError(ServiceError):
     """A request was fast-rejected by serving-tier admission control.
 
     Raised *synchronously* at submit time — before any optimizer or
@@ -136,34 +155,85 @@ class ServiceOverloadError(ExecutionError):
     ``reason`` is ``"shard_queue_full"`` or ``"tenant_quota"``;
     ``shard`` is the target shard index; ``tenant`` the requesting
     tenant (when any); ``pending`` and ``limit`` describe the queue or
-    quota that rejected the request.
+    quota that rejected the request.  ``retry_after_hint`` — when the
+    gateway attaches one — is a seeded-backoff delay (seconds) the
+    client should wait before resubmitting; it is a pure function of
+    the gateway seed and the rejection count, so client backoff is
+    reproducible in tests.
     """
 
     def __init__(self, message, reason=None, shard=None, tenant=None,
-                 pending=None, limit=None):
-        super().__init__(message)
-        self.reason = reason
-        self.shard = shard
+                 pending=None, limit=None, signature=None,
+                 retry_after_hint=None):
+        super().__init__(message, shard=shard, signature=signature,
+                         reason=reason)
         self.tenant = tenant
         self.pending = pending
         self.limit = limit
+        self.retry_after_hint = retry_after_hint
 
 
-class ServiceExecutionError(ExecutionError):
+class ServiceExecutionError(ServiceError):
     """A service invocation failed after resilience was exhausted.
 
     Wraps the underlying fault so callers holding only a future still
     learn *which* request died: the request ``tag``, ``query_name``,
     whether the plan came from the cache (``cache_hit``), and how many
     execution ``attempts`` were made.  The original error is chained
-    as ``__cause__`` and kept as ``cause``.
+    as ``__cause__`` and kept as ``cause``; ``reason`` defaults to the
+    cause's class name.
     """
 
     def __init__(self, message, tag=None, query_name=None, cache_hit=None,
-                 attempts=None, cause=None):
-        super().__init__(message)
+                 attempts=None, cause=None, shard=None, signature=None,
+                 reason=None):
+        if reason is None and cause is not None:
+            reason = type(cause).__name__
+        super().__init__(message, shard=shard, signature=signature,
+                         reason=reason)
         self.tag = tag
         self.query_name = query_name
         self.cache_hit = cache_hit
         self.attempts = attempts
         self.cause = cause
+
+
+class ShardDownError(ServiceError):
+    """A service shard cannot serve: its worker crashed, hung, or is
+    restarting.
+
+    Raised at the shard boundary so the gateway can route the affected
+    request to its degraded path (fail over to a sibling shard or
+    re-optimize fresh) instead of losing it.  ``reason`` is
+    ``"crashed"``, ``"hung"``, ``"killed"``, or ``"restarting"``.
+    Requests failing with this error are never silently dropped: the
+    gateway counts every one as either ``failed_over`` or ``failed``.
+    """
+
+
+class SnapshotError(ServiceError):
+    """Base of plan-cache snapshot persistence failures."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file failed validation (bad JSON, checksum mismatch,
+    or malformed entries) and was not restored."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot file's format/version is not one this build reads.
+
+    Carries ``found`` (the file's format/version pair) and
+    ``supported`` (this build's) so operators can tell a stale snapshot
+    from a corrupt one.
+    """
+
+    def __init__(self, message, found=None, supported=None, **kwargs):
+        super().__init__(message, **kwargs)
+        self.found = found
+        self.supported = supported
+
+
+class MetricsError(ReproError):
+    """Raised for metrics-registry misuse (e.g. writing a read-only,
+    callback-backed instrument)."""

@@ -31,6 +31,8 @@ import re
 import threading
 from bisect import bisect_left
 
+from repro.common.errors import MetricsError
+
 _NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
 #: Default latency buckets (seconds), dense in the sub-millisecond
@@ -78,7 +80,7 @@ class Counter:
         if amount < 0:
             raise ValueError("counter increments must be non-negative")
         if self._callback is not None:
-            raise RuntimeError(
+            raise MetricsError(
                 "callback-backed counter %s is read-only" % self.name
             )
         with self._lock:
@@ -116,7 +118,7 @@ class Gauge:
 
     def _writable(self):
         if self._callback is not None:
-            raise RuntimeError(
+            raise MetricsError(
                 "callback-backed gauge %s is read-only" % self.name
             )
 

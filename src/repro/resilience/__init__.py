@@ -24,6 +24,7 @@ from repro.resilience.policy import (
     CircuitBreaker,
     ResiliencePolicy,
     RetryPolicy,
+    backoff_hint,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "CircuitBreaker",
     "ResiliencePolicy",
     "RetryPolicy",
+    "backoff_hint",
 ]

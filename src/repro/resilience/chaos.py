@@ -299,3 +299,322 @@ def run_chaos(profile_name, query_numbers=DEFAULT_QUERIES, seed=0,
         reopt=reopt.to_dict() if reopt is not None and reopt.active else None,
         skew=tuple(skew) if skew is not None else None,
     )
+
+
+# ----------------------------------------------------------------------
+# Service-tier chaos: shard kill / hang / slow scenarios
+# ----------------------------------------------------------------------
+
+#: Deterministic shard-fault scenarios the service harness can inject.
+SERVICE_SCENARIOS = ("kill-shard", "hang-shard", "slow-shard")
+
+
+def rows_sequence_digest(records):
+    """Order-*sensitive* SHA-256 digest of a result's rows.
+
+    The service-tier contract is stronger than the storage-fault one:
+    a failed-over request re-runs the same optimizer over the same
+    catalog, so it must produce byte-identical rows in byte-identical
+    order — not merely the same multiset.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(repr(sorted(record.as_dict().items())).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class ServiceChaosReport:
+    """Verdict of one shard-fault scenario versus its unfaulted run."""
+
+    def __init__(self, scenario, seed, shards, inject_at, heal_at,
+                 execution_mode, target_shard, outcomes, conservation,
+                 supervision, transitions):
+        self.scenario = scenario
+        self.seed = seed
+        self.shards = shards
+        self.inject_at = inject_at
+        self.heal_at = heal_at
+        self.execution_mode = execution_mode
+        self.target_shard = target_shard
+        #: Per-request rows: ``{index, tag, outcome, digest, match}``.
+        self.outcomes = list(outcomes)
+        self.conservation = dict(conservation)
+        self.supervision = dict(supervision)
+        self.transitions = [list(item) for item in transitions]
+
+    @property
+    def expected_restarts(self):
+        """Restarts the scenario must cause: 1 for kill/hang, 0 for slow."""
+        return 0 if self.scenario == "slow-shard" else 1
+
+    @property
+    def conserved(self):
+        """submitted == completed + failed_over + failed + rejected."""
+        c = self.conservation
+        return c["submitted"] == (
+            c["completed"] + c["failed_over"] + c["failed"] + c["rejected"]
+        )
+
+    @property
+    def passed(self):
+        """Byte-identical rows, exact conservation, expected recovery."""
+        return (
+            all(row["match"] for row in self.outcomes)
+            and self.conserved
+            and self.conservation["failed"] == 0
+            and self.supervision["restarts"] == self.expected_restarts
+        )
+
+    def to_dict(self):
+        """Plain-data form (no wall-clock values anywhere)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "shards": self.shards,
+            "inject_at": self.inject_at,
+            "heal_at": self.heal_at,
+            "execution_mode": self.execution_mode,
+            "target_shard": self.target_shard,
+            "requests": [dict(row) for row in self.outcomes],
+            "conservation": dict(self.conservation),
+            "conserved": self.conserved,
+            "supervision": dict(self.supervision),
+            "transitions": [list(item) for item in self.transitions],
+            "expected_restarts": self.expected_restarts,
+            "passed": self.passed,
+        }
+
+    def to_json(self):
+        """Canonical JSON: sorted keys, so equal reports are equal bytes."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self):
+        """Human-readable summary."""
+        c = self.conservation
+        lines = [
+            "service chaos %r (seed %d, %d shards, %s mode): %s"
+            % (
+                self.scenario,
+                self.seed,
+                self.shards,
+                self.execution_mode,
+                "PASS" if self.passed else "FAIL",
+            ),
+            "  target shard %d, fault at request %d, supervision at %d"
+            % (self.target_shard, self.inject_at, self.heal_at),
+            "  conservation: submitted=%d completed=%d failed_over=%d "
+            "failed=%d rejected=%d (%s)"
+            % (
+                c["submitted"],
+                c["completed"],
+                c["failed_over"],
+                c["failed"],
+                c["rejected"],
+                "exact" if self.conserved else "VIOLATED",
+            ),
+            "  supervision: %d suspects, %d downs, %d restarts "
+            "(expected restarts: %d)"
+            % (
+                self.supervision["suspects"],
+                self.supervision["downs"],
+                self.supervision["restarts"],
+                self.expected_restarts,
+            ),
+            "  rows: %d/%d byte-identical to unfaulted run"
+            % (
+                sum(1 for row in self.outcomes if row["match"]),
+                len(self.outcomes),
+            ),
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ServiceChaosReport(%r, %d requests, passed=%s)" % (
+            self.scenario,
+            len(self.outcomes),
+            self.passed,
+        )
+
+
+def _service_chaos_gateway(catalog, shards, execution_mode, seed, data_seed):
+    from repro.catalog import populate_database
+    from repro.service.sharding import ShardedQueryService
+
+    database = Database(catalog)
+    populate_database(database, seed=data_seed)
+    return ShardedQueryService(
+        database,
+        shards=shards,
+        capacity=32,
+        execution_mode=execution_mode,
+        resilience_factory=lambda: ResiliencePolicy(
+            retry=RetryPolicy(base_delay=0.0, jitter=0.0, seed=seed),
+            sleep=lambda _seconds: None,
+        ),
+    )
+
+
+def run_service_chaos(scenario, seed=0, shards=3, requests=36, shapes=6,
+                      inject_at=10, heal_at=None, execution_mode="row",
+                      data_seed=11):
+    """Replay seeded traffic with a shard fault injected mid-stream.
+
+    The same Zipf-skewed request stream is served twice, from
+    identically seeded databases: once unfaulted (the baseline), once
+    with ``scenario`` injected at request index ``inject_at`` against
+    the shard owning that request's signature:
+
+    * ``kill-shard`` — the worker dies abruptly (queued work
+      cancelled).  Requests routed to the dead shard fail over to a
+      sibling until the supervisor's sweep at ``heal_at`` detects the
+      dead worker and rebuilds the shard.
+    * ``hang-shard`` — the worker wedges mid-queue.  The hung request
+      completes via failover when the supervisor's progress checks
+      escalate the shard suspect → down and restart it.
+    * ``slow-shard`` — the shard reports stalled serves; supervision
+      marks it suspect and recovers it to healthy without a restart.
+
+    The report asserts the tier's two hard promises: every request's
+    rows are **byte-identical** to the unfaulted run's, and the
+    request accounting conserves exactly (``submitted == completed +
+    failed_over + failed + rejected``).  Everything is seeded and
+    transitions happen at fixed request indexes, so two runs with the
+    same arguments produce byte-identical reports.
+    """
+    from repro.workloads.traffic import HeavyTrafficSpec, to_service_requests
+
+    if scenario not in SERVICE_SCENARIOS:
+        raise ValueError(
+            "unknown service chaos scenario %r (choose from %r)"
+            % (scenario, SERVICE_SCENARIOS)
+        )
+    if heal_at is None:
+        heal_at = inject_at + 6
+    if not 0 <= inject_at < requests or not inject_at < heal_at < requests:
+        raise ValueError(
+            "need 0 <= inject_at (%d) < heal_at (%d) < requests (%d)"
+            % (inject_at, heal_at, requests)
+        )
+    spec = HeavyTrafficSpec(
+        requests=requests,
+        query_shapes=shapes,
+        tenants=2,
+        relations=2,
+        seed=seed,
+    )
+    catalog, _queries, service_requests = to_service_requests(spec)
+
+    baseline = _service_chaos_gateway(
+        catalog, shards, execution_mode, seed, data_seed
+    )
+    try:
+        baseline_digests = [
+            rows_sequence_digest(
+                baseline.run(
+                    request.query, request.bindings, tag=request.tag
+                ).execution.records
+            )
+            for request in service_requests
+        ]
+    finally:
+        baseline.shutdown()
+
+    gateway = _service_chaos_gateway(
+        catalog, shards, execution_mode, seed, data_seed
+    )
+    target = gateway.shard_for(service_requests[inject_at].query)
+    outcomes = [None] * requests
+    hung = None  # (index, future)
+    try:
+        for index, request in enumerate(service_requests):
+            if index == heal_at:
+                gateway.supervisor.check()
+                gateway.supervisor.check()
+                if hung is not None:
+                    # The restart above resolved the wedged worker's
+                    # future through the gateway's failover callback.
+                    # Wait for it *here*, before the replay continues:
+                    # the callback runs on the old worker thread, and
+                    # letting it race the main-thread serves would
+                    # make the per-request outcome attribution below
+                    # nondeterministic.
+                    hung_index, future = hung
+                    result = future.result(timeout=60.0)
+                    digest = rows_sequence_digest(result.execution.records)
+                    outcomes[hung_index] = {
+                        "index": hung_index,
+                        "tag": service_requests[hung_index].tag,
+                        "outcome": "failed_over",
+                        "digest": digest,
+                        "match": digest == baseline_digests[hung_index],
+                    }
+                    hung = None
+            if index == inject_at:
+                if scenario == "kill-shard":
+                    target.kill()
+                elif scenario == "hang-shard":
+                    target.inject_fault("hang")
+                    future = gateway.submit(
+                        request.query,
+                        request.bindings,
+                        tag=request.tag,
+                        tenant=request.tenant,
+                    )
+                    # Deterministic synchronization: the fault has
+                    # fired (the worker is wedged) before the replay
+                    # continues, so every later supervision check sees
+                    # the same picture.
+                    target._hanging.wait(timeout=30.0)
+                    hung = (index, future)
+                    continue
+                else:
+                    target.inject_fault("slow", count=3)
+            before = gateway.request_outcomes()["failed_over"]
+            result = gateway.run(
+                request.query,
+                request.bindings,
+                tag=request.tag,
+                tenant=request.tenant,
+            )
+            failed_over = (
+                gateway.request_outcomes()["failed_over"] > before
+            )
+            digest = rows_sequence_digest(result.execution.records)
+            outcomes[index] = {
+                "index": index,
+                "tag": request.tag,
+                "outcome": "failed_over" if failed_over else "completed",
+                "digest": digest,
+                "match": digest == baseline_digests[index],
+            }
+        if hung is not None:
+            index, future = hung
+            result = future.result(timeout=60.0)
+            digest = rows_sequence_digest(result.execution.records)
+            outcomes[index] = {
+                "index": index,
+                "tag": service_requests[index].tag,
+                "outcome": "failed_over",
+                "digest": digest,
+                "match": digest == baseline_digests[index],
+            }
+        conservation = gateway.request_outcomes()
+        conservation.pop("failover_reasons", None)
+        supervision = gateway.supervisor.counts()
+        transitions = list(gateway.supervisor.transitions)
+    finally:
+        gateway.shutdown()
+    return ServiceChaosReport(
+        scenario,
+        seed,
+        shards,
+        inject_at,
+        heal_at,
+        execution_mode,
+        target.index,
+        outcomes,
+        conservation,
+        supervision,
+        transitions,
+    )

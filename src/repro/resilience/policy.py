@@ -26,8 +26,33 @@ from repro.common.errors import ExecutionError
 from repro.common.rng import make_rng
 
 
+def backoff_hint(seed, key, attempt, base_delay=0.001, multiplier=2.0,
+                 jitter=0.1, cap=0.25):
+    """A deterministic backoff delay: pure function of its arguments.
+
+    The jitter fraction is drawn from a stream derived from ``(seed,
+    key, attempt)``, so the same fault history always produces the
+    same schedule — no shared RNG state, no thread-order dependence.
+    ``cap`` bounds the exponential growth.  This is both the
+    :class:`RetryPolicy` jitter primitive and the source of the
+    ``retry_after_hint`` the gateway attaches to
+    :class:`~repro.common.errors.ServiceOverloadError`.
+    """
+    base = min(float(cap), base_delay * (multiplier ** max(0, attempt - 1)))
+    if jitter == 0.0 or base == 0.0:
+        return base
+    fraction = make_rng(seed, "retry-backoff", str(key), attempt).random()
+    return base * (1.0 + jitter * fraction)
+
+
 class RetryPolicy:
-    """Exponential backoff with jitter for transient faults."""
+    """Exponential backoff with seeded, stateless jitter.
+
+    The jitter draw for retry ``attempt`` of operation ``key`` is a
+    pure function of ``(seed, key, attempt)`` — not of how many other
+    threads drew before it — so backoff schedules are reproducible
+    even under concurrent retries.
+    """
 
     def __init__(self, max_retries=3, base_delay=0.001, multiplier=2.0,
                  jitter=0.1, seed=0):
@@ -43,16 +68,19 @@ class RetryPolicy:
         self.base_delay = float(base_delay)
         self.multiplier = float(multiplier)
         self.jitter = float(jitter)
-        self._rng = make_rng(seed, "retry-backoff")
-        self._rng_lock = threading.Lock()
+        self.seed = seed
 
-    def delay(self, attempt):
-        """Backoff before retry number ``attempt`` (1-based), in seconds."""
+    def delay(self, attempt, key=""):
+        """Backoff before retry number ``attempt`` (1-based), in seconds.
+
+        ``key`` scopes the jitter stream (e.g. the query signature
+        digest) so distinct operations retrying concurrently get
+        decorrelated — but individually reproducible — schedules.
+        """
         base = self.base_delay * (self.multiplier ** (attempt - 1))
         if self.jitter == 0.0:
             return base
-        with self._rng_lock:
-            fraction = self._rng.random()
+        fraction = make_rng(self.seed, "retry-backoff", str(key), attempt).random()
         return base * (1.0 + self.jitter * fraction)
 
     def __repr__(self):

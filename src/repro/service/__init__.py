@@ -16,6 +16,13 @@ turns that amortization argument into a running subsystem:
   shards that partition the plan cache by signature hash, with bounded
   admission queues, per-tenant quotas, and exactly aggregated
   statistics (the heavy-traffic serving tier);
+* :mod:`.supervision` — :class:`ShardSupervisor`, health-checking the
+  gateway's shard workers (progress heartbeats, hang detection) and
+  restarting dead ones while the gateway fails affected requests over
+  to siblings — typed and counted, never silently dropped;
+* :mod:`.durability` — versioned, checksummed plan-cache snapshots
+  with atomic write-rename and warm restore, so a restarted tier
+  serves its hot set without re-optimizing it;
 * :mod:`.replay` — a workload replayer behind the
   ``python -m repro serve-batch`` CLI, reporting hit rate, start-up
   latency percentiles, and speedup versus optimize-per-query.
@@ -23,6 +30,15 @@ turns that amortization argument into a running subsystem:
 
 from repro.service.cache import CacheStatistics, PlanCache, PlanCacheEntry
 from repro.service.decision import CompiledDecision, DecisionCompilationError
+from repro.service.durability import (
+    DurabilityConfig,
+    RestoreStats,
+    build_snapshot,
+    read_snapshot,
+    restore_gateway,
+    restore_service,
+    write_snapshot,
+)
 from repro.service.replay import ReplayReport, render_report, replay_spec
 from repro.service.service import (
     QueryService,
@@ -36,22 +52,32 @@ from repro.service.sharding import (
     ShardedServiceStatistics,
     shard_index_for,
 )
+from repro.service.supervision import SHARD_STATES, ShardSupervisor
 
 __all__ = [
     "CacheStatistics",
     "CompiledDecision",
     "DecisionCompilationError",
+    "DurabilityConfig",
     "PlanCache",
     "PlanCacheEntry",
     "QueryService",
     "ReplayReport",
+    "RestoreStats",
+    "SHARD_STATES",
     "ServiceRequest",
     "ServiceResult",
     "ServiceShard",
     "ServiceStatistics",
+    "ShardSupervisor",
     "ShardedQueryService",
     "ShardedServiceStatistics",
+    "build_snapshot",
+    "read_snapshot",
     "render_report",
     "replay_spec",
+    "restore_gateway",
+    "restore_service",
     "shard_index_for",
+    "write_snapshot",
 ]

@@ -374,6 +374,28 @@ class PlanCache:
                 self.stats.evictions += 1
             return entry, False
 
+    def seed_entry(self, signature, query):
+        """Insert an entry for restore, outside the lookup accounting.
+
+        The snapshot-restore path (:mod:`repro.service.durability`)
+        pre-populates the cache before any request arrives; counting
+        those insertions as lookups/misses would make the hit-rate lie
+        about serving behaviour, so this touches only the LRU map (and
+        the eviction counter, which stays exact).  Returns ``(entry,
+        created)``; an existing entry is returned untouched so restore
+        never clobbers a partition that already warmed itself.
+        """
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is not None:
+                return entry, False
+            entry = PlanCacheEntry(signature, query)
+            self._entries[signature] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return entry, True
+
     def get(self, query):
         """The entry for a query, or ``None`` (no statistics side effects)."""
         signature = canonical_signature(query)

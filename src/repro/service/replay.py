@@ -40,6 +40,7 @@ class ReplayReport:
         baseline_means,
         per_query,
         sharded_stats=None,
+        restore_stats=None,
     ):
         self.spec = spec
         self.results = results
@@ -49,6 +50,9 @@ class ReplayReport:
         #: when the replay went through the sharded gateway, else None
         #: (``stats`` is then its exact aggregate).
         self.sharded_stats = sharded_stats
+        #: :class:`~repro.service.durability.RestoreStats` when the
+        #: replay warm-started from a snapshot, else None.
+        self.restore_stats = restore_stats
         self.wall_seconds = wall_seconds
         #: query name -> mean seconds of one from-scratch optimization.
         self.baseline_means = baseline_means
@@ -84,7 +88,12 @@ class ReplayReport:
 
 
 def replay_spec(
-    spec, execute=None, baseline_samples=2, optimize=None, execution_mode=None
+    spec,
+    execute=None,
+    baseline_samples=2,
+    optimize=None,
+    execution_mode=None,
+    snapshot=None,
 ):
     """Replay a service workload spec; returns a :class:`ReplayReport`.
 
@@ -92,7 +101,9 @@ def replay_spec(
     only smoke runs); ``optimize`` overrides the optimizer entry point
     for both the service and the baseline measurement;
     ``execution_mode`` overrides the spec's executor (``"row"`` or
-    ``"batch"``).
+    ``"batch"``).  ``snapshot`` names a plan-cache snapshot file: the
+    replay warm-starts from it when it exists and (re)writes it on
+    shutdown, so repeated replays skip re-optimizing the hot set.
     """
     if optimize is None:
         from repro.optimizer.optimizer import optimize_dynamic
@@ -118,6 +129,7 @@ def replay_spec(
         for index, (workload, bindings) in enumerate(requests)
     ]
     sharded_stats = None
+    restore_stats = None
     if spec.shards > 1:
         with ShardedQueryService(
             database,
@@ -126,7 +138,9 @@ def replay_spec(
             optimize=optimize,
             execute=do_execute,
             execution_mode=spec.execution_mode,
+            durability=snapshot,
         ) as service:
+            restore_stats = service.restore_stats
             started = time.perf_counter()
             results = service.run_batch(service_requests)
             wall_seconds = time.perf_counter() - started
@@ -141,10 +155,19 @@ def replay_spec(
             execute=do_execute,
             execution_mode=spec.execution_mode,
         ) as service:
+            if snapshot is not None:
+                restore_stats = _restore_single(service, snapshot)
             started = time.perf_counter()
             results = service.run_batch(service_requests)
             wall_seconds = time.perf_counter() - started
             stats = service.stats()
+            if snapshot is not None:
+                from repro.service.durability import (
+                    build_snapshot,
+                    write_snapshot,
+                )
+
+                write_snapshot(snapshot, build_snapshot(service))
 
     baseline_means = {}
     for workload in workloads:
@@ -173,7 +196,22 @@ def replay_spec(
         baseline_means,
         per_query,
         sharded_stats=sharded_stats,
+        restore_stats=restore_stats,
     )
+
+
+def _restore_single(service, path):
+    """Warm a single (unsharded) service from ``path`` if it exists."""
+    from repro.common.errors import SnapshotError
+    from repro.service.durability import read_snapshot, restore_service
+
+    try:
+        snapshot = read_snapshot(path)
+    except SnapshotError as error:
+        if error.reason == "unreadable":  # first run: cold start
+            return None
+        raise
+    return restore_service(service, snapshot)
 
 
 def _assign_tenants(spec):

@@ -863,7 +863,9 @@ class QueryService:
                         operation_index=error.operation_index,
                         attempt=transient_retries,
                     )
-                self.resilience.sleep(retry.delay(transient_retries))
+                self.resilience.sleep(
+                    retry.delay(transient_retries, key=entry.digest)
+                )
             except MemoryDropError as error:
                 degradations += 1
                 self._count("degradations")

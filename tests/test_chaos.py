@@ -14,7 +14,14 @@ import json
 import pytest
 
 from repro.__main__ import main
-from repro.resilience.chaos import DEFAULT_QUERIES, rows_digest, run_chaos
+from repro.resilience.chaos import (
+    DEFAULT_QUERIES,
+    SERVICE_SCENARIOS,
+    rows_digest,
+    rows_sequence_digest,
+    run_chaos,
+    run_service_chaos,
+)
 
 #: Exact per-query counters for ``transient-and-drop`` at seed 0.
 #:
@@ -247,3 +254,146 @@ class TestChaosCli:
         assert main(["chaos", "--skew", "nope"]) == 2
         assert main(["chaos", "--skew", "0.1:0.2:0.3"]) == 2
         assert "DECLARED:ACTUAL" in capsys.readouterr().out
+
+
+class TestServiceChaos:
+    """Shard-fault scenarios: byte-identical rows, exact conservation."""
+
+    @pytest.mark.parametrize("scenario", SERVICE_SCENARIOS)
+    def test_scenarios_pass(self, scenario):
+        report = run_service_chaos(
+            scenario, seed=0, requests=24, shapes=5, inject_at=8
+        )
+        assert report.passed
+        assert all(row["match"] for row in report.outcomes)
+        assert report.conserved
+        assert report.conservation["failed"] == 0
+        assert report.supervision["restarts"] == report.expected_restarts
+
+    def test_kill_shard_fails_over_until_restart(self):
+        report = run_service_chaos(
+            "kill-shard", seed=0, requests=24, shapes=5, inject_at=8
+        )
+        assert report.conservation["failed_over"] > 0
+        states = [tuple(item) for item in report.transitions]
+        assert (report.target_shard, "healthy", "down") in states
+        assert (report.target_shard, "down", "restarting") in states
+        assert (report.target_shard, "restarting", "healthy") in states
+
+    def test_hang_shard_escalates_through_suspect(self):
+        report = run_service_chaos(
+            "hang-shard", seed=0, requests=24, shapes=5, inject_at=8
+        )
+        assert report.conservation["failed_over"] == 1
+        states = [tuple(item) for item in report.transitions]
+        assert (report.target_shard, "healthy", "suspect") in states
+        assert (report.target_shard, "suspect", "down") in states
+
+    def test_slow_shard_recovers_without_restart(self):
+        report = run_service_chaos(
+            "slow-shard", seed=0, requests=24, shapes=5, inject_at=8
+        )
+        assert report.conservation["failed_over"] == 0
+        assert report.supervision["restarts"] == 0
+        states = [tuple(item) for item in report.transitions]
+        assert (report.target_shard, "healthy", "suspect") in states
+        assert (report.target_shard, "suspect", "healthy") in states
+
+    @pytest.mark.parametrize("scenario", ("kill-shard", "hang-shard"))
+    def test_same_seed_same_bytes(self, scenario):
+        first = run_service_chaos(
+            scenario, seed=1, requests=24, shapes=5, inject_at=8
+        )
+        second = run_service_chaos(
+            scenario, seed=1, requests=24, shapes=5, inject_at=8
+        )
+        assert first.to_json() == second.to_json()
+
+    def test_report_json_roundtrips(self):
+        report = run_service_chaos(
+            "kill-shard", seed=0, requests=24, shapes=5, inject_at=8
+        )
+        data = json.loads(report.to_json())
+        assert data["passed"] is True
+        assert data["conserved"] is True
+        assert len(data["requests"]) == 24
+        assert data["expected_restarts"] == 1
+
+    def test_unknown_scenario_is_typed(self):
+        with pytest.raises(ValueError):
+            run_service_chaos("melt-shard")
+
+    def test_bad_indexes_are_typed(self):
+        with pytest.raises(ValueError):
+            run_service_chaos("kill-shard", requests=10, inject_at=9, heal_at=9)
+
+    def test_rows_sequence_digest_is_order_sensitive(self):
+        class Record:
+            def __init__(self, value):
+                self.value = value
+
+            def as_dict(self):
+                return {"v": self.value}
+
+        forward = rows_sequence_digest([Record(1), Record(2)])
+        backward = rows_sequence_digest([Record(2), Record(1)])
+        assert forward != backward
+
+
+class TestServiceChaosCli:
+    def test_kill_shard_flag(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--kill-shard",
+                "--requests",
+                "18",
+                "--inject-at",
+                "6",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "kill-shard"
+        assert data["passed"] is True
+
+    def test_slow_shard_table_render(self, capsys):
+        code = main(
+            ["chaos", "--slow-shard", "--requests", "18", "--inject-at", "6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service chaos 'slow-shard'" in out
+        assert "PASS" in out
+
+    def test_scenario_flags_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--kill-shard", "--hang-shard"])
+
+    def test_output_file(self, capsys, tmp_path):
+        path = tmp_path / "service-chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--hang-shard",
+                "--requests",
+                "18",
+                "--inject-at",
+                "6",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert data["scenario"] == "hang-shard"
+        assert data["passed"] is True
+
+    def test_bad_indexes_exit_2(self, capsys):
+        code = main(
+            ["chaos", "--kill-shard", "--requests", "10", "--inject-at", "40"]
+        )
+        assert code == 2
+        assert "inject_at" in capsys.readouterr().out

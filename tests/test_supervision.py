@@ -1,0 +1,404 @@
+"""Shard supervision: the state machine, failover, and conservation.
+
+The contract under test is the module docstring of
+:mod:`repro.service.supervision`: shard health is judged from
+counters (never wall clocks), escalation follows healthy → suspect →
+down → restarting → healthy, restarts rebuild the shard from the
+gateway's recipe with fresh breaker state, and — the tier's hard
+promise — no request is silently lost or duplicated: every accepted
+request ends in exactly one of completed / failed-over / failed, and
+``submitted == completed + failed_over + failed + rejected`` holds at
+every quiescent point, including across kills and restarts.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.synthetic import populate_database
+from repro.common.errors import ServiceOverloadError, ShardDownError
+from repro.service import ShardedQueryService
+from repro.service.supervision import DOWN, HEALTHY, RESTARTING, SUSPECT
+from repro.storage import Database
+from repro.workloads.traffic import HeavyTrafficSpec, to_service_requests
+
+
+def traffic(requests=24, shapes=5, seed=0):
+    spec = HeavyTrafficSpec(
+        requests=requests, query_shapes=shapes, tenants=2, seed=seed
+    )
+    return to_service_requests(spec)
+
+
+def make_gateway(catalog, shards=3, seed=7, **kwargs):
+    database = Database(catalog)
+    populate_database(database, seed=seed)
+    return ShardedQueryService(database, shards=shards, capacity=16, **kwargs)
+
+
+def assert_conserved(gateway):
+    outcomes = gateway.request_outcomes()
+    assert outcomes["submitted"] == (
+        outcomes["completed"]
+        + outcomes["failed_over"]
+        + outcomes["failed"]
+        + outcomes["rejected"]
+    ), outcomes
+    return outcomes
+
+
+class TestStateMachine:
+    """Deterministic supervision transitions from shard counters."""
+
+    def test_idle_healthy_shards_stay_healthy(self):
+        catalog, _queries, _requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            assert gateway.supervisor.check() == []
+            assert set(gateway.supervisor.states().values()) == {HEALTHY}
+        finally:
+            gateway.shutdown()
+
+    def test_killed_shard_goes_down_and_restarts(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            old_service = target.service
+            old_generation = target.generation
+            target.kill()
+            sweep = gateway.supervisor.check()
+            assert (target.index, HEALTHY, DOWN) in sweep
+            assert (target.index, DOWN, RESTARTING) in sweep
+            assert (target.index, RESTARTING, HEALTHY) in sweep
+            assert gateway.supervisor.state(target.index) == HEALTHY
+            assert gateway.supervisor.counts()["restarts"] == 1
+            assert target.alive
+            assert target.generation == old_generation + 1
+            assert target.service is not old_service
+        finally:
+            gateway.shutdown()
+
+    def test_restart_rebuilds_cache_breaker_and_queue(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            for request in requests:
+                gateway.run(request.query, request.bindings, tag=request.tag)
+            assert target.service.cache.stats.lookups > 0
+            old_resilience = target.service.resilience
+            target.kill()
+            gateway.supervisor.check()
+            stats = target.service.cache.stats
+            assert (stats.lookups, stats.hits, stats.misses) == (0, 0, 0)
+            assert target.service.resilience is not old_resilience
+            assert target.pending == 0
+        finally:
+            gateway.shutdown()
+
+    def test_hang_escalates_suspect_then_down(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.inject_fault("hang")
+            future = gateway.submit(requests[0].query, requests[0].bindings)
+            assert target._hanging.wait(timeout=30.0)
+            first = gateway.supervisor.check()
+            assert (target.index, HEALTHY, SUSPECT) in first
+            assert gateway.supervisor.counts()["restarts"] == 0
+            second = gateway.supervisor.check()
+            assert (target.index, SUSPECT, DOWN) in second
+            assert gateway.supervisor.counts()["restarts"] == 1
+            # The wedged request was not lost: it completed degraded.
+            result = future.result(timeout=60.0)
+            assert result.execution is not None
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed_over"] == 1
+        finally:
+            gateway.shutdown()
+
+    def test_slow_shard_is_suspect_without_restart(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.inject_fault("slow", count=2)
+            for request in requests[:6]:
+                gateway.run(request.query, request.bindings)
+            first = gateway.supervisor.check()
+            assert (target.index, HEALTHY, SUSPECT) in first
+            second = gateway.supervisor.check()
+            assert (target.index, SUSPECT, HEALTHY) in second
+            assert gateway.supervisor.counts()["restarts"] == 0
+        finally:
+            gateway.shutdown()
+
+    def test_manual_restart_when_auto_restart_is_off(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog, supervisor_auto_restart=False)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.kill()
+            gateway.supervisor.check()
+            assert gateway.supervisor.state(target.index) == DOWN
+            assert not gateway.supervisor.is_servable(target)
+            # Requests keep completing through failover meanwhile.
+            result = gateway.run(requests[0].query, requests[0].bindings)
+            assert result.execution is not None
+            gateway.supervisor.restart_shard(target)
+            assert gateway.supervisor.state(target.index) == HEALTHY
+            assert gateway.supervisor.is_servable(target)
+        finally:
+            gateway.shutdown()
+
+    def test_down_error_is_typed(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.kill()
+            error = gateway.supervisor.down_error(target, signature="sig")
+            assert isinstance(error, ShardDownError)
+            assert error.shard == target.index
+            assert error.signature == "sig"
+            assert error.reason == "crashed"
+        finally:
+            gateway.shutdown()
+
+
+class TestFailoverConservation:
+    """No request silently lost or duplicated, whatever dies."""
+
+    def test_run_fails_over_from_a_dead_shard(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.kill()
+            results = [
+                gateway.run(
+                    request.query,
+                    request.bindings,
+                    tag=request.tag,
+                    tenant=request.tenant,
+                )
+                for request in requests
+            ]
+            assert all(result.execution is not None for result in results)
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed"] == 0
+            assert outcomes["failed_over"] > 0
+            assert outcomes["failover_reasons"].get("crashed", 0) > 0
+        finally:
+            gateway.shutdown()
+
+    def test_submit_futures_resolve_despite_kill(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.kill()
+            futures = [
+                gateway.submit(request.query, request.bindings)
+                for request in requests[:8]
+            ]
+            results = [future.result(timeout=60.0) for future in futures]
+            assert all(result.execution is not None for result in results)
+            assert_conserved(gateway)
+        finally:
+            gateway.shutdown()
+
+    def test_run_batch_routes_around_a_dead_shard(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.kill()
+            results = gateway.run_batch(requests)
+            assert len(results) == len(requests)
+            assert all(result.execution is not None for result in results)
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed"] == 0
+        finally:
+            gateway.shutdown()
+
+    def test_single_shard_gateway_uses_the_standby_path(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog, shards=1)
+        try:
+            gateway.shards[0].kill()
+            result = gateway.run(requests[0].query, requests[0].bindings)
+            assert result.execution is not None
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed_over"] == 1
+        finally:
+            gateway.shutdown()
+
+    def test_mid_stream_kill_with_supervised_recovery(self):
+        catalog, _queries, requests = traffic(requests=30)
+        gateway = make_gateway(catalog)
+        try:
+            target = gateway.shard_for(requests[10].query)
+            for index, request in enumerate(requests):
+                if index == 10:
+                    target.kill()
+                if index == 20:
+                    gateway.supervisor.check()
+                gateway.run(
+                    request.query, request.bindings, tenant=request.tenant
+                )
+            outcomes = assert_conserved(gateway)
+            assert outcomes["completed"] + outcomes["failed_over"] == 30
+            assert gateway.supervisor.counts()["restarts"] == 1
+            # Quota and queue accounting drained exactly.
+            assert gateway._tenant_inflight == {}
+            assert all(shard.pending == 0 for shard in gateway.shards)
+        finally:
+            gateway.shutdown()
+
+
+class TestOverloadHints:
+    """Typed rejections carry a seeded, reproducible retry hint."""
+
+    def test_queue_full_rejection_has_retry_after_hint(self):
+        catalog, _queries, requests = traffic()
+        gateway = make_gateway(catalog, max_pending=1)
+        try:
+            target = gateway.shard_for(requests[0].query)
+            target.reserve(1)
+            with pytest.raises(ServiceOverloadError) as excinfo:
+                gateway.run(requests[0].query, requests[0].bindings)
+            error = excinfo.value
+            assert error.reason == "shard_queue_full"
+            assert error.retry_after_hint is not None
+            assert 0.0 < error.retry_after_hint < 0.3
+            target.release(1)
+            assert_conserved(gateway)
+        finally:
+            gateway.shutdown()
+
+    def test_hints_are_deterministic_per_seed(self):
+        catalog, _queries, requests = traffic()
+        hints = []
+        for _ in range(2):
+            gateway = make_gateway(catalog, max_pending=1, backoff_seed=3)
+            try:
+                target = gateway.shard_for(requests[0].query)
+                target.reserve(1)
+                run_hints = []
+                for _attempt in range(3):
+                    with pytest.raises(ServiceOverloadError) as excinfo:
+                        gateway.run(requests[0].query, requests[0].bindings)
+                    run_hints.append(excinfo.value.retry_after_hint)
+                target.release(1)
+                hints.append(run_hints)
+            finally:
+                gateway.shutdown()
+        assert hints[0] == hints[1]
+        # Successive rejections back off: hints grow exponentially.
+        assert hints[0][0] < hints[0][1] < hints[0][2]
+
+
+class QuotaMachine:
+    """Drives one gateway through a random op sequence for Hypothesis."""
+
+    def __init__(self, catalog, requests):
+        self.requests = requests
+        self.gateway = make_gateway(
+            catalog, shards=2, tenant_quota=2, execute=False
+        )
+
+    def apply(self, op):
+        kind, value = op
+        if kind == "serve":
+            request = self.requests[value % len(self.requests)]
+            try:
+                self.gateway.run(
+                    request.query, request.bindings, tenant=request.tenant
+                )
+            except ServiceOverloadError:
+                pass
+        elif kind == "kill":
+            self.gateway.shards[value % len(self.gateway.shards)].kill()
+        else:
+            self.gateway.supervisor.check()
+
+    def close(self):
+        self.gateway.shutdown()
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["serve", "kill", "check"]), st.integers(0, 7)),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestQuotaConservationProperty:
+    """Hypothesis: in-flight accounting survives any kill/restart mix."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=operations)
+    def test_quota_and_queue_accounting_always_drain(self, ops):
+        catalog, _queries, requests = traffic(requests=8)
+        machine = QuotaMachine(catalog, requests)
+        try:
+            for op in ops:
+                machine.apply(op)
+            gateway = machine.gateway
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed"] == 0
+            # Synchronous serving: nothing is in flight between ops,
+            # so every reservation must have been released exactly
+            # once — across failover, kills, and restarts.
+            assert gateway._tenant_inflight == {}
+            assert all(shard.pending == 0 for shard in gateway.shards)
+        finally:
+            machine.close()
+
+    @pytest.mark.slow
+    def test_threaded_stress_conserves_under_kills(self):
+        catalog, _queries, requests = traffic(requests=8)
+        gateway = make_gateway(
+            catalog, shards=3, tenant_quota=4, execute=False
+        )
+        errors = []
+
+        def worker(offset):
+            for round_index in range(12):
+                request = requests[(offset + round_index) % len(requests)]
+                try:
+                    gateway.run(
+                        request.query,
+                        request.bindings,
+                        tenant=request.tenant,
+                    )
+                except ServiceOverloadError:
+                    pass
+                except Exception as error:  # noqa: BLE001 — collected
+                    errors.append(error)
+
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for round_index in range(6):
+                gateway.shards[round_index % 3].kill()
+                gateway.supervisor.check()
+            for thread in threads:
+                thread.join()
+            gateway.supervisor.check()
+            assert errors == []
+            outcomes = assert_conserved(gateway)
+            assert outcomes["failed"] == 0
+            assert gateway._tenant_inflight == {}
+            assert all(shard.pending == 0 for shard in gateway.shards)
+        finally:
+            gateway.shutdown()
